@@ -1,0 +1,18 @@
+"""Ablation - device combiner capacity vs amplification.
+
+Regenerates the ablation's rows and verifies their shape; the benchmark
+time is the cost of the full (fast-mode) sweep.
+"""
+
+from repro.experiments import get
+
+
+def test_abl_combiner(benchmark):
+    experiment = get("abl-combiner")
+    result = benchmark.pedantic(
+        lambda: experiment.run_checked(fast=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    failures = [n for n in result.notes if n.startswith("SHAPE CHECK FAILED")]
+    assert not failures, failures

@@ -1,0 +1,18 @@
+"""Ablation - pre-stores across YCSB mixes A-D.
+
+Regenerates the ablation's rows and verifies their shape; the benchmark
+time is the cost of the full (fast-mode) sweep.
+"""
+
+from repro.experiments import get
+
+
+def test_abl_ycsb_mixes(benchmark):
+    experiment = get("abl-ycsb-mixes")
+    result = benchmark.pedantic(
+        lambda: experiment.run_checked(fast=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    failures = [n for n in result.notes if n.startswith("SHAPE CHECK FAILED")]
+    assert not failures, failures

@@ -1,0 +1,18 @@
+"""Section 7.4.2 - manually misplaced pre-stores.
+
+Regenerates the paper artifact's rows and verifies their shape; the
+benchmark time is the cost of the full (fast-mode) sweep.
+"""
+
+from repro.experiments import get
+
+
+def test_sec742(benchmark):
+    experiment = get("sec742")
+    result = benchmark.pedantic(
+        lambda: experiment.run_checked(fast=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    failures = [n for n in result.notes if n.startswith("SHAPE CHECK FAILED")]
+    assert not failures, failures

@@ -1,0 +1,18 @@
+"""Table 2 - DirtBuster classification of all applications.
+
+Regenerates the paper artifact's rows and verifies their shape; the
+benchmark time is the cost of the full (fast-mode) sweep.
+"""
+
+from repro.experiments import get
+
+
+def test_table2(benchmark):
+    experiment = get("table2")
+    result = benchmark.pedantic(
+        lambda: experiment.run_checked(fast=True), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    failures = [n for n in result.notes if n.startswith("SHAPE CHECK FAILED")]
+    assert not failures, failures

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one paper table/figure (fast mode) exactly once:
+the interesting output is the printed rows and the shape checks, not
+statistical timing stability, so rounds are pinned to 1 via
+``benchmark.pedantic`` in the tests themselves.
+"""

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""An offline optimisation pass over a mixed batch of applications.
+
+Section 6.1 describes DirtBuster's intended usage: run it before
+releasing performance-critical applications.  :class:`AutoTuner` wraps
+the whole loop — analyse, translate the advice into patch sites, measure
+baseline vs. patched, keep only what verifies faster.
+
+This drives it over a mixed batch: two genuine pre-store candidates, the
+Listing 3 anti-pattern, and a read-mostly app — only the first two should
+come out patched.
+
+Run:  python examples/autotune_pass.py
+"""
+
+from repro.core.autotune import AutoTuner
+from repro.dirtbuster import DirtBuster, DirtBusterConfig
+from repro.sim import machine_a, machine_b_fast
+from repro.workloads.microbench import Listing1, Listing3
+from repro.workloads.nas import MGWorkload
+from repro.workloads.phoronix import ReadMostlyWorkload
+from repro.workloads.x9 import X9Workload
+
+BATCH = [
+    (
+        "Machine A",
+        machine_a(),
+        lambda: Listing1(
+            element_size=1024, num_elements=1024, iterations=1500, compute_per_iter=4096
+        ),
+    ),
+    ("Machine A", machine_a(), lambda: MGWorkload(grid=32, iterations=2, threads=4)),
+    ("Machine B", machine_b_fast(), lambda: X9Workload(messages=1500)),
+    ("Machine A", machine_a(), lambda: Listing3(iterations=4000)),
+    ("Machine A", machine_a(), lambda: ReadMostlyWorkload("pytorch", "stream", scale=300)),
+]
+
+
+def main() -> None:
+    tuner = AutoTuner(DirtBuster(DirtBusterConfig(sampling_period=101)))
+    print(f"{'machine':10s}  result")
+    print("-" * 72)
+    for machine_name, spec, factory in BATCH:
+        result = tuner.tune(factory, spec)
+        print(f"{machine_name:10s}  {result.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, which PEP 517
+editable installs require; this shim lets ``pip install -e .`` take the
+legacy ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — reproduction of "Pre-Stores: Proactive Software-guided Movement
+of Data Down the Memory Hierarchy" (Wu, Lepers, Zwaenepoel; EuroSys '25).
+
+Public API tour:
+
+* :mod:`repro.core` — the pre-store primitive (``PrestoreOp``,
+  ``PrestoreMode``, ``PatchConfig``).
+* :mod:`repro.sim` — the memory-hierarchy simulator standing in for the
+  paper's Machines A (Xeon + Optane PMEM) and B (Enzian CPU + FPGA).
+* :mod:`repro.dirtbuster` — the DirtBuster dynamic-analysis tool
+  (sampling, instrumentation, recommendations).
+* :mod:`repro.workloads` — the evaluated applications: microbenchmarks,
+  a TensorFlow/Eigen-like tensor evaluator, NAS kernels, CLHT and
+  Masstree key-value stores under YCSB, and the X9 message-passing
+  library.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro.core import PrestoreOp
+    from repro.sim import machine_a
+    from repro.workloads.memapi import Program
+
+    def body(t):
+        buf = t.alloc(1 << 16, label="buf")
+        yield from t.write_block(buf.base, buf.size)
+        yield t.prestore(buf.base, buf.size, PrestoreOp.CLEAN)
+
+    program = Program(machine_a())
+    program.spawn(body)
+    print(program.run().summary())
+"""
+
+from repro._version import __version__
+from repro.core import PatchConfig, PatchSite, PrestoreMode, PrestoreOp
+from repro.errors import ReproError
+from repro.sim import machine_a, machine_b_fast, machine_b_slow, machine_dram
+
+__all__ = [
+    "PatchConfig",
+    "PatchSite",
+    "PrestoreMode",
+    "PrestoreOp",
+    "ReproError",
+    "__version__",
+    "machine_a",
+    "machine_b_fast",
+    "machine_b_slow",
+    "machine_dram",
+]

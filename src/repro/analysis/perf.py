@@ -1,0 +1,64 @@
+"""perf-style store-time profiling (the Section 7.1 filter).
+
+"Some applications spend less than 10% of their time issuing store
+instructions (we used perf to get this information).  Adding pre-stores
+to these applications would have no effect."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.dirtbuster.sampling import SampleProfile, WRITE_INTENSIVE_APP_THRESHOLD
+from repro.dirtbuster.trace import SamplingTracer
+from repro.sim.machine import MachineSpec
+from repro.workloads.base import Workload
+
+__all__ = ["StoreTimeProfile", "profile_store_time"]
+
+
+@dataclass
+class StoreTimeProfile:
+    """Application-level store-share verdict plus the top functions."""
+
+    workload: str
+    store_share: float
+    write_intensive: bool
+    #: (function, share of sampled stores) for the heaviest writers.
+    top_functions: List[Tuple[str, float]]
+
+    def render(self) -> str:
+        lines = [
+            f"{self.workload}: {100.0 * self.store_share:.1f}% of sampled accesses "
+            f"are stores -> {'write-intensive' if self.write_intensive else 'not write-intensive'}"
+        ]
+        for function, share in self.top_functions:
+            lines.append(f"  {100.0 * share:5.1f}%  {function}")
+        return "\n".join(lines)
+
+
+def profile_store_time(
+    workload: Workload,
+    spec: MachineSpec,
+    sampling_period: int = 229,
+    threshold: float = WRITE_INTENSIVE_APP_THRESHOLD,
+    seed: int = 1234,
+    top: int = 5,
+) -> StoreTimeProfile:
+    """Sample one run and compute the store-time share."""
+    tracer = SamplingTracer(period=sampling_period)
+    workload.run(spec, tracer=tracer, seed=seed)
+    profile = SampleProfile.from_tracer(tracer)
+    total_stores = max(1, profile.total_stores)
+    tops = [
+        (p.function, p.stores / total_stores)
+        for p in profile.functions()[:top]
+        if p.stores > 0
+    ]
+    return StoreTimeProfile(
+        workload=workload.name,
+        store_share=profile.application_store_fraction,
+        write_intensive=profile.application_write_intensive(threshold),
+        top_functions=tops,
+    )

@@ -1,0 +1,56 @@
+"""Parameter-sweep helper used by examples and ad-hoc studies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.prestore import PatchConfig, PrestoreMode
+from repro.sim.machine import MachineSpec
+from repro.sim.stats import RunResult
+from repro.workloads.base import Workload
+
+__all__ = ["SweepPoint", "sweep"]
+
+
+@dataclass
+class SweepPoint:
+    """One (parameter value, mode) measurement."""
+
+    parameter: object
+    mode: PrestoreMode
+    run: RunResult
+
+    @property
+    def cycles(self) -> float:
+        return self.run.cycles_with_drain
+
+    @property
+    def write_amplification(self) -> float:
+        return self.run.write_amplification
+
+
+def sweep(
+    make_workload: Callable[[object], Workload],
+    spec: MachineSpec,
+    values: Iterable[object],
+    modes: Iterable[PrestoreMode] = (PrestoreMode.NONE, PrestoreMode.CLEAN),
+    seed: int = 1234,
+) -> List[SweepPoint]:
+    """Run ``make_workload(value)`` for every value x mode combination.
+
+    Pre-store modes are applied uniformly at every patch site the
+    workload declares.
+    """
+    points: List[SweepPoint] = []
+    for value in values:
+        for mode in modes:
+            workload = make_workload(value)
+            config = PatchConfig.baseline()
+            if mode is not PrestoreMode.NONE:
+                config = PatchConfig()
+                for site in workload.patch_sites():
+                    config.set_mode(site.name, mode)
+            result = workload.run(spec, config, seed=seed)
+            points.append(SweepPoint(parameter=value, mode=mode, run=result.run))
+    return points

@@ -1,0 +1,38 @@
+"""Aligned text-table rendering for reports and examples."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows under headers, right-aligning numbers.
+
+    >>> print(format_table(["name", "x"], [["a", 1.5], ["bb", 20]]))
+    name     x
+    a      1.5
+    bb      20
+    """
+    materialised: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}")
+            else:
+                cells.append(str(value))
+        materialised.append(cells)
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip()]
+    for raw, row in zip(materialised, materialised):
+        rendered = []
+        for i, cell in enumerate(row):
+            numeric = cell.replace(".", "", 1).replace("-", "", 1).isdigit()
+            rendered.append(cell.rjust(widths[i]) if numeric else cell.ljust(widths[i]))
+        lines.append("  ".join(rendered).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""The paper's primary contribution: the pre-store primitive.
+
+See :mod:`repro.core.prestore` for the operation vocabulary and the
+patch-site configuration used to toggle pre-stores per code location.
+"""
+
+from repro.core.prestore import (
+    CYCLES_PER_PRESTORE,
+    PatchConfig,
+    PatchSite,
+    PrestoreMode,
+    PrestoreOp,
+)
+
+__all__ = [
+    "CYCLES_PER_PRESTORE",
+    "AutoTuneResult",
+    "AutoTuner",
+    "PatchConfig",
+    "PatchSite",
+    "PrestoreMode",
+    "PrestoreOp",
+]
+
+
+def __getattr__(name):
+    # AutoTuner pulls in dirtbuster (and transitively workloads); import
+    # it lazily to keep `repro.core` free of cycles.
+    if name in ("AutoTuner", "AutoTuneResult"):
+        from repro.core import autotune
+
+        return getattr(autotune, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,135 @@
+"""Automatic pre-store tuning: DirtBuster's "intended usage" as one call.
+
+Section 6.1: "DirtBuster is meant to be executed offline, as an
+optimization pass before releasing performance-critical applications."
+:class:`AutoTuner` packages that pass: analyse a workload, translate the
+per-function advice into the workload's patch sites, measure baseline vs.
+patched, and keep the patches only if they actually helped — with the
+skip→clean fallback the paper's Fortran ports needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.prestore import PatchConfig, PrestoreMode
+from repro.dirtbuster.runner import DirtBuster, DirtBusterConfig, DirtBusterReport
+from repro.errors import AnalysisError
+from repro.sim.machine import MachineSpec
+from repro.sim.stats import RunResult
+from repro.workloads.base import Workload
+
+__all__ = ["AutoTuneResult", "AutoTuner"]
+
+
+@dataclass
+class AutoTuneResult:
+    """Outcome of one optimisation pass."""
+
+    workload: str
+    report: DirtBusterReport
+    #: The patch configuration that was finally adopted.
+    patches: PatchConfig
+    #: site name -> adopted mode (empty when nothing was patched).
+    adopted: Dict[str, PrestoreMode]
+    baseline: RunResult
+    #: The patched run (None when nothing was recommended).
+    patched: Optional[RunResult]
+    #: True when the patches were kept (they helped).
+    kept: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.patched is None:
+            return 1.0
+        return self.patched.drained_speedup_over(self.baseline)
+
+    def summary(self) -> str:
+        if not self.adopted:
+            return f"{self.workload}: no pre-store opportunities found"
+        sites = ", ".join(f"{s}={m}" for s, m in sorted(self.adopted.items()))
+        verdict = "kept" if self.kept else "reverted (no gain)"
+        return f"{self.workload}: {sites} -> {self.speedup:.2f}x ({verdict})"
+
+
+class AutoTuner:
+    """Analyse, patch, verify — keep only what measures faster.
+
+    ``allow_skip=False`` applies the paper's Fortran situation: wherever
+    DirtBuster says *skip* but non-temporal stores are impractical, the
+    recommended fallback (*clean*) is used instead.
+    """
+
+    def __init__(
+        self,
+        dirtbuster: Optional[DirtBuster] = None,
+        allow_skip: bool = True,
+        min_speedup: float = 1.01,
+    ) -> None:
+        if min_speedup <= 0:
+            raise AnalysisError(f"min_speedup must be positive, got {min_speedup}")
+        self.dirtbuster = dirtbuster or DirtBuster()
+        self.allow_skip = allow_skip
+        self.min_speedup = min_speedup
+
+    # -- advice translation -----------------------------------------------
+
+    def patches_for(self, workload: Workload, report: DirtBusterReport) -> PatchConfig:
+        """Map per-function recommendations onto the workload's sites.
+
+        A recommendation applies to a patch site when the site's declared
+        function matches the recommendation's function — exactly how a
+        developer maps DirtBuster's "function + line" output onto the
+        source location to edit.
+        """
+        config = PatchConfig()
+        for site in workload.patch_sites():
+            recommendation = report.recommendation_for(site.function)
+            if recommendation is None or not recommendation.wants_prestore:
+                continue
+            mode = recommendation.choice
+            if mode is PrestoreMode.SKIP and not self.allow_skip:
+                mode = recommendation.fallback or PrestoreMode.CLEAN
+            config.set_mode(site.name, mode)
+        return config
+
+    # -- the pass -----------------------------------------------------------
+
+    def tune(
+        self,
+        workload_factory,
+        spec: MachineSpec,
+        seed: int = 1234,
+    ) -> AutoTuneResult:
+        """Run the full optimisation pass.
+
+        ``workload_factory`` is a zero-argument callable returning a fresh
+        workload instance (runs must not share state).
+        """
+        probe = workload_factory()
+        report = self.dirtbuster.analyze(probe, spec, seed=seed)
+        patches = self.patches_for(probe, report)
+        adopted = dict(patches.enabled_sites())
+        baseline = workload_factory().run(spec, PatchConfig.baseline(), seed=seed).run
+        if not adopted:
+            return AutoTuneResult(
+                workload=probe.name,
+                report=report,
+                patches=PatchConfig.baseline(),
+                adopted={},
+                baseline=baseline,
+                patched=None,
+                kept=False,
+            )
+        patched = workload_factory().run(spec, patches, seed=seed).run
+        kept = patched.drained_speedup_over(baseline) >= self.min_speedup
+        return AutoTuneResult(
+            workload=probe.name,
+            report=report,
+            patches=patches if kept else PatchConfig.baseline(),
+            adopted=adopted if kept else {},
+            baseline=baseline,
+            patched=patched,
+            kept=kept,
+        )

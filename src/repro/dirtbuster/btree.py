@@ -1,0 +1,301 @@
+"""An in-memory B-tree map.
+
+Section 6.2.3: "For every monitored sequential context and for every
+cache line written before a fence, DirtBuster stores the value of the
+counter at the latest recorded read and at the latest recorded write.
+The information is currently stored in a B-Tree."
+
+This is that B-tree: an order-``t`` (minimum degree) B-tree mapping
+integer-comparable keys to arbitrary values, with insert, lookup, delete,
+and ordered iteration.  :mod:`repro.dirtbuster.distances` keys it by
+cache-line number.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BTree"]
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.values: List[Any] = []
+        self.children: List["_Node"] = []
+
+    @property
+    def leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """An order-``t`` B-tree map (each node holds ``t-1``..``2t-1`` keys).
+
+    >>> tree = BTree(t=2)
+    >>> for k in [5, 1, 9, 3]:
+    ...     tree[k] = k * 10
+    >>> tree[3]
+    30
+    >>> list(tree.keys())
+    [1, 3, 5, 9]
+    """
+
+    def __init__(self, t: int = 16) -> None:
+        if t < 2:
+            raise ConfigurationError(f"B-tree minimum degree must be >= 2, got {t}")
+        self.t = t
+        self._root = _Node()
+        self._size = 0
+
+    # -- lookup ----------------------------------------------------------------
+
+    def _find(self, node: _Node, key: Any) -> Optional[Any]:
+        while True:
+            i = self._bisect(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                return node.values[i]
+            if node.leaf:
+                return None
+            node = node.children[i]
+
+    @staticmethod
+    def _bisect(keys: List[Any], key: Any) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        found = self._find(self._root, key)
+        return default if found is None else found
+
+    def __getitem__(self, key: Any) -> Any:
+        found = self._find(self._root, key)
+        if found is None:
+            raise KeyError(key)
+        return found
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(self._root, key) is not None
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- insert ----------------------------------------------------------------
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        root = self._root
+        if len(root.keys) == 2 * self.t - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        self._insert_nonfull(root, key, value)
+
+    def setdefault(self, key: Any, default: Any) -> Any:
+        found = self._find(self._root, key)
+        if found is not None:
+            return found
+        self[key] = default
+        return default
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self.t
+        child = parent.children[index]
+        sibling = _Node()
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.values.insert(index, child.values[t - 1])
+        parent.children.insert(index + 1, sibling)
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+
+    def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> None:
+        while True:
+            i = self._bisect(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.values[i] = value
+                return
+            if node.leaf:
+                node.keys.insert(i, key)
+                node.values.insert(i, value)
+                self._size += 1
+                return
+            if len(node.children[i].keys) == 2 * self.t - 1:
+                self._split_child(node, i)
+                if node.keys[i] == key:
+                    node.values[i] = value
+                    return
+                if key > node.keys[i]:
+                    i += 1
+            node = node.children[i]
+
+    # -- delete ----------------------------------------------------------------
+
+    def __delitem__(self, key: Any) -> None:
+        if not self._delete(self._root, key):
+            raise KeyError(key)
+        if not self._root.keys and self._root.children:
+            self._root = self._root.children[0]
+        self._size -= 1
+
+    def pop(self, key: Any, default: Any = None) -> Any:
+        found = self._find(self._root, key)
+        if found is None:
+            return default
+        del self[key]
+        return found
+
+    def _delete(self, node: _Node, key: Any) -> bool:
+        t = self.t
+        i = self._bisect(node.keys, key)
+        if i < len(node.keys) and node.keys[i] == key:
+            if node.leaf:
+                node.keys.pop(i)
+                node.values.pop(i)
+                return True
+            # Replace with predecessor or successor from a child that can
+            # spare a key, else merge.
+            if len(node.children[i].keys) >= t:
+                pk, pv = self._max_entry(node.children[i])
+                node.keys[i], node.values[i] = pk, pv
+                return self._delete(node.children[i], pk)
+            if len(node.children[i + 1].keys) >= t:
+                sk, sv = self._min_entry(node.children[i + 1])
+                node.keys[i], node.values[i] = sk, sv
+                return self._delete(node.children[i + 1], sk)
+            self._merge_children(node, i)
+            return self._delete(node.children[i], key)
+        if node.leaf:
+            return False
+        # Ensure the child we descend into has at least t keys.
+        child = node.children[i]
+        if len(child.keys) < t:
+            i = self._rebalance_child(node, i)
+            child = node.children[i]
+        return self._delete(child, key)
+
+    def _rebalance_child(self, node: _Node, i: int) -> int:
+        """Give child ``i`` an extra key (borrow or merge); returns the
+        (possibly shifted) child index to descend into."""
+        t = self.t
+        child = node.children[i]
+        if i > 0 and len(node.children[i - 1].keys) >= t:
+            left = node.children[i - 1]
+            child.keys.insert(0, node.keys[i - 1])
+            child.values.insert(0, node.values[i - 1])
+            node.keys[i - 1] = left.keys.pop()
+            node.values[i - 1] = left.values.pop()
+            if not left.leaf:
+                child.children.insert(0, left.children.pop())
+            return i
+        if i < len(node.children) - 1 and len(node.children[i + 1].keys) >= t:
+            right = node.children[i + 1]
+            child.keys.append(node.keys[i])
+            child.values.append(node.values[i])
+            node.keys[i] = right.keys.pop(0)
+            node.values[i] = right.values.pop(0)
+            if not right.leaf:
+                child.children.append(right.children.pop(0))
+            return i
+        if i > 0:
+            self._merge_children(node, i - 1)
+            return i - 1
+        self._merge_children(node, i)
+        return i
+
+    def _merge_children(self, node: _Node, i: int) -> None:
+        """Merge child ``i``, separator ``i``, and child ``i+1``."""
+        left = node.children[i]
+        right = node.children.pop(i + 1)
+        left.keys.append(node.keys.pop(i))
+        left.values.append(node.values.pop(i))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+
+    @staticmethod
+    def _max_entry(node: _Node) -> Tuple[Any, Any]:
+        while not node.leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    @staticmethod
+    def _min_entry(node: _Node) -> Tuple[Any, Any]:
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    # -- iteration ----------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All (key, value) pairs in ascending key order."""
+        yield from self._iter_node(self._root)
+
+    def _iter_node(self, node: _Node) -> Iterator[Tuple[Any, Any]]:
+        if node.leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for i, key in enumerate(node.keys):
+            yield from self._iter_node(node.children[i])
+            yield key, node.values[i]
+        yield from self._iter_node(node.children[-1])
+
+    def keys(self) -> Iterator[Any]:
+        return (k for k, _ in self.items())
+
+    def values(self) -> Iterator[Any]:
+        return (v for _, v in self.items())
+
+    def height(self) -> int:
+        """Tree height (a root-only tree has height 1)."""
+        h, node = 1, self._root
+        while not node.leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+    def check_invariants(self) -> None:
+        """Validate B-tree structure; raises AssertionError on violation.
+
+        Used by property-based tests: keys sorted in every node, child
+        counts consistent, key-count bounds respected below the root, and
+        all leaves at equal depth.
+        """
+        depths = set()
+
+        def walk(node: _Node, lo: Any, hi: Any, depth: int, is_root: bool) -> None:
+            assert node.keys == sorted(node.keys), "unsorted node"
+            assert len(node.keys) == len(node.values)
+            if not is_root:
+                assert len(node.keys) >= self.t - 1, "underfull node"
+            assert len(node.keys) <= 2 * self.t - 1, "overfull node"
+            for key in node.keys:
+                if lo is not None:
+                    assert key > lo, "key below range"
+                if hi is not None:
+                    assert key < hi, "key above range"
+            if node.leaf:
+                depths.add(depth)
+                return
+            assert len(node.children) == len(node.keys) + 1, "child count mismatch"
+            bounds = [lo] + node.keys + [hi]
+            for i, child in enumerate(node.children):
+                walk(child, bounds[i], bounds[i + 1], depth + 1, False)
+
+        walk(self._root, None, None, 0, True)
+        assert len(depths) <= 1, "leaves at unequal depths"

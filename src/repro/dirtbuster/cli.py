@@ -1,0 +1,68 @@
+"""``dirtbuster``: run the analysis tool on a named workload.
+
+Examples::
+
+    dirtbuster clht --machine a
+    dirtbuster nas-mg --machine a --sampling-period 101
+    dirtbuster x9 --machine b-fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.dirtbuster.runner import DirtBuster, DirtBusterConfig
+from repro.sim.machine import (
+    machine_a,
+    machine_a_cxl,
+    machine_b_fast,
+    machine_b_slow,
+    machine_dram,
+)
+from repro.workloads.registry import WORKLOAD_FACTORIES, make_workload
+from repro.workloads.phoronix import PHORONIX_APPS
+
+_MACHINES = {
+    "a": machine_a,
+    "a-dram": machine_dram,
+    "a-cxl": machine_a_cxl,
+    "b-fast": machine_b_fast,
+    "b-slow": machine_b_slow,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    known = sorted(WORKLOAD_FACTORIES) + sorted(name for name, _ in PHORONIX_APPS)
+    parser = argparse.ArgumentParser(
+        prog="dirtbuster",
+        description="Find code locations that would benefit from pre-stores.",
+    )
+    parser.add_argument("workload", nargs="?", help=f"one of: {', '.join(known)}")
+    parser.add_argument("--list", action="store_true", help="list known workloads")
+    parser.add_argument("--machine", choices=sorted(_MACHINES), default="a")
+    parser.add_argument("--sampling-period", type=int, default=229)
+    parser.add_argument("--seed", type=int, default=1234)
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(known))
+        return 0
+    if not args.workload:
+        parser.error("give a workload name or --list")
+
+    workload = make_workload(args.workload)
+    spec = _MACHINES[args.machine]()
+    config = DirtBusterConfig(sampling_period=args.sampling_period)
+    report = DirtBuster(config).analyze(workload, spec, seed=args.seed)
+    print(report.render())
+    print()
+    print("Table 2 row:")
+    print(f"{'':20s} {'write':>6s} {'seq':>6s} {'fence':>6s}")
+    print(report.classification.row())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

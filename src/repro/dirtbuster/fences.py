@@ -1,0 +1,95 @@
+"""Step 2b: memory-ordering constraint detection.
+
+Section 6.2.2: "To detect memory ordering constraints, DirtBuster
+computes the minimum number of instructions between the writes performed
+by the write-intensive functions and the next instruction with fence
+semantics.  Instructions with fence semantics comprise memory fence
+instructions (e.g., mfence, sfence, ...) and the atomic instructions
+that force the CPU to order memory accesses (e.g., cmpxchg)."
+
+Distances are per core: a fence only orders the stores of its own
+thread.  Writes never followed by a fence on their core contribute to
+``writes_without_fence`` (distance "infinite").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["FenceProximity", "FenceTracker"]
+
+#: Cap on pending writes remembered per core; writes further than any
+#: plausible "before a fence" window add nothing to the minimum.
+_MAX_PENDING = 100_000
+
+
+@dataclass
+class FenceProximity:
+    """Write-to-fence distance statistics for one function."""
+
+    function: str
+    writes: int = 0
+    writes_before_fence: int = 0
+    min_distance: float = math.inf
+    _sum_distance: float = 0.0
+
+    @property
+    def writes_without_fence(self) -> int:
+        return self.writes - self.writes_before_fence
+
+    @property
+    def mean_distance(self) -> float:
+        if self.writes_before_fence == 0:
+            return math.inf
+        return self._sum_distance / self.writes_before_fence
+
+    @property
+    def fence_coverage(self) -> float:
+        """Fraction of this function's writes later ordered by a fence."""
+        return self.writes_before_fence / self.writes if self.writes else 0.0
+
+
+class FenceTracker:
+    """Streams per-core events and accumulates write→fence distances."""
+
+    def __init__(self) -> None:
+        #: core -> [(function, instr_index), ...] writes since last fence.
+        self._pending: Dict[int, List[Tuple[str, int]]] = {}
+        self._functions: Dict[str, FenceProximity] = {}
+
+    def _prox(self, function: str) -> FenceProximity:
+        prox = self._functions.get(function)
+        if prox is None:
+            prox = FenceProximity(function=function)
+            self._functions[function] = prox
+        return prox
+
+    def observe_write(self, core_id: int, function: str, instr_index: int) -> None:
+        self._prox(function).writes += 1
+        pending = self._pending.setdefault(core_id, [])
+        pending.append((function, instr_index))
+        if len(pending) > _MAX_PENDING:
+            del pending[: len(pending) // 2]
+
+    def observe_fence(self, core_id: int, instr_index: int) -> None:
+        """A fence-semantics instruction retired on ``core_id``."""
+        pending = self._pending.get(core_id)
+        if not pending:
+            return
+        for function, write_index in pending:
+            prox = self._prox(function)
+            distance = instr_index - write_index
+            prox.writes_before_fence += 1
+            prox._sum_distance += distance
+            if distance < prox.min_distance:
+                prox.min_distance = distance
+        pending.clear()
+
+    def proximity(self, function: str) -> FenceProximity:
+        """Statistics for one function (zeros if it never wrote)."""
+        return self._functions.get(function, FenceProximity(function=function))
+
+    def functions(self) -> List[str]:
+        return sorted(self._functions)

@@ -1,0 +1,159 @@
+"""Step 2/3 driver: turn a full trace into per-function access patterns.
+
+The :class:`Instrumenter` replays a :class:`~repro.dirtbuster.trace.FullTracer`
+record stream (global execution order, per-core program order preserved)
+through the three analyses — sequentiality contexts, fence proximity, and
+re-read/re-write distances — and assembles one
+:class:`FunctionPatterns` per analysed function.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.dirtbuster.contexts import ContextTracker, SequentialitySummary
+from repro.dirtbuster.distances import DistanceStats, DistanceTracker
+from repro.dirtbuster.fences import FenceProximity, FenceTracker
+from repro.dirtbuster.trace import AccessRecord
+from repro.errors import AnalysisError
+from repro.sim.event import EventKind
+
+__all__ = ["BucketRow", "FunctionPatterns", "Instrumenter"]
+
+
+@dataclass
+class BucketRow:
+    """One "Size:" line of the paper's report format."""
+
+    #: Representative region size in bytes.
+    size: int
+    #: Share of the function's sequential writes in this bucket (0..1).
+    share: float
+    #: Mean write-to-first-re-read distance, instructions (inf = never).
+    reread: float
+    #: Mean rewrite distance, instructions (inf = never).
+    rewrite: float
+
+
+@dataclass
+class FunctionPatterns:
+    """Everything DirtBuster learned about one function's writes."""
+
+    function: str
+    file: str
+    line: int
+    sequentiality: SequentialitySummary
+    fences: FenceProximity
+    distances: DistanceStats
+    buckets: List[BucketRow] = field(default_factory=list)
+
+    @property
+    def total_writes(self) -> int:
+        return self.sequentiality.total_writes
+
+    @property
+    def pct_sequential(self) -> float:
+        return self.sequentiality.pct_sequential
+
+    @property
+    def mean_reread(self) -> float:
+        return self.distances.mean_reread_distance
+
+    @property
+    def mean_rewrite(self) -> float:
+        return self.distances.mean_rewrite_distance
+
+
+class Instrumenter:
+    """Replays a full trace through the step-2/3 analyses."""
+
+    def __init__(self, line_size: int, functions: Optional[Iterable[str]] = None) -> None:
+        if line_size <= 0:
+            raise AnalysisError(f"line size must be positive, got {line_size}")
+        self.line_size = line_size
+        self.functions: Optional[Set[str]] = set(functions) if functions is not None else None
+        # Exact adjacency: a write continues a context only when it starts
+        # where the previous one ended.  A slack would let dense random
+        # writers (IS's bucket histogram) masquerade as sequential.
+        self.contexts = ContextTracker(slack=0)
+        self.fences = FenceTracker()
+        self.distances = DistanceTracker(line_size, slack=0)
+        self._sites: Dict[str, tuple] = {}
+
+    def _selected(self, record: AccessRecord) -> bool:
+        if self.functions is None:
+            return True
+        if record.function in self.functions:
+            return True
+        return any(site.function in self.functions for site in record.callchain)
+
+    def _attribute_to(self, record: AccessRecord) -> str:
+        """The instrumented function a record belongs to.
+
+        Writes routinely happen inside generic helpers (memcpy-alikes);
+        perf callchains let DirtBuster attribute them to the instrumented
+        caller, which is where the patch will go (Section 6.2.1).
+        """
+        if self.functions is None or record.function in self.functions:
+            return record.function
+        for site in reversed(record.callchain):
+            if site.function in self.functions:
+                return site.function
+        return record.function
+
+    def feed(self, records: Sequence[AccessRecord]) -> None:
+        """Consume trace records (must be in execution order)."""
+        for rec in records:
+            if rec.has_fence_semantics:
+                # Atomics both order (fence semantics) and write.
+                self.fences.observe_fence(rec.core_id, rec.instr_index)
+                continue
+            if not self._selected(rec):
+                continue
+            function = self._attribute_to(rec)
+            if rec.kind is EventKind.WRITE:
+                if function not in self._sites:
+                    owner = rec.site if rec.function == function else next(
+                        (s for s in rec.callchain if s.function == function), rec.site
+                    )
+                    self._sites[function] = (owner.file, owner.line)
+                ctx = self.contexts.observe_write(rec.core_id, function, rec.addr, rec.size)
+                self.fences.observe_write(rec.core_id, function, rec.instr_index)
+                self.distances.observe_write(
+                    rec.core_id, function, rec.addr, rec.size, rec.instr_index, context=ctx
+                )
+            elif rec.kind is EventKind.READ:
+                self.distances.observe_read(rec.core_id, rec.addr, rec.size, rec.instr_index)
+
+    def patterns(self) -> List[FunctionPatterns]:
+        """One :class:`FunctionPatterns` per function that wrote data."""
+        results = []
+        for function in self.contexts.functions():
+            summary = self.contexts.summary(function)
+            buckets = []
+            for bucket in summary.size_buckets():
+                merged = self.distances.merged_context_stats(bucket.members)
+                buckets.append(
+                    BucketRow(
+                        size=bucket.size,
+                        share=bucket.share,
+                        reread=merged.mean_reread_distance,
+                        rewrite=merged.mean_rewrite_distance,
+                    )
+                )
+            file, line = self._sites.get(function, ("<unknown>", 0))
+            results.append(
+                FunctionPatterns(
+                    function=function,
+                    file=file,
+                    line=line,
+                    sequentiality=summary,
+                    fences=self.fences.proximity(function),
+                    distances=self.distances.stats(function),
+                    buckets=buckets,
+                )
+            )
+        results.sort(key=lambda p: p.total_writes, reverse=True)
+        return results

@@ -1,0 +1,162 @@
+"""Step 3 output: choosing between demote, clean, skip, or nothing.
+
+Section 6.2.3, "Guiding developers":
+
+* data frequently **rewritten** at very short distance → *no* pre-store:
+  "cleaning or skipping the cache would result in unnecessary writes to
+  memory (instead of simply being overwritten in the cache, the data
+  would be pushed to memory every time)" — the Listing 3 / ``fftz2``
+  pathology;
+* data re-written (but not that hot) → **demote**: make it visible before
+  the fence but keep it cached for the coming rewrite (the X9 case);
+* data just re-read → **clean**: start the writeback but keep the cached
+  copy for the coming re-read (the TensorFlow / MG ``resid`` case);
+* data neither re-read nor re-written → **skip** the cache with
+  non-temporal stores, falling back to clean where NT stores are
+  impractical (the MG ``psinv`` / key-value-store case).
+
+A function is a candidate at all only if it writes sequentially or its
+writes are shortly followed by fences; otherwise DirtBuster stays silent
+(the IS ``rank`` case).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.prestore import PrestoreMode
+from repro.dirtbuster.instrument import FunctionPatterns
+
+__all__ = ["Thresholds", "Recommendation", "Recommender"]
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Tunable decision thresholds (instruction counts unless noted)."""
+
+    #: Minimum fraction of a function's writes in sequential contexts for
+    #: the sequential-writes pattern to fire.
+    sequential_share: float = 0.25
+    #: A write this close (instructions) to a following fence counts as
+    #: "written before a fence".
+    fence_distance: float = 300.0
+    #: Minimum fraction of writes that must be fence-covered.
+    fence_coverage: float = 0.25
+    #: Mean rewrite distance below which the data is "frequently
+    #: rewritten" and any pre-store would cause needless memory traffic.
+    hot_rewrite: float = 1000.0
+    #: Mean re-read / rewrite distance below which the data plausibly
+    #: still sits in the cache when reused — reuse beyond this horizon is
+    #: treated as no reuse.
+    reuse_horizon: float = 100_000.0
+    #: Ignore functions with fewer writes than this (noise floor).
+    min_writes: int = 32
+
+
+@dataclass
+class Recommendation:
+    """DirtBuster's verdict for one function."""
+
+    patterns: FunctionPatterns
+    choice: PrestoreMode
+    rationale: str
+    #: For SKIP: note that clean is the fallback when NT stores are
+    #: impractical (the paper's Fortran situation).
+    fallback: Optional[PrestoreMode] = None
+
+    @property
+    def function(self) -> str:
+        return self.patterns.function
+
+    @property
+    def wants_prestore(self) -> bool:
+        return self.choice is not PrestoreMode.NONE
+
+
+class Recommender:
+    """Applies the Section 6.2.3 decision procedure."""
+
+    def __init__(self, thresholds: Optional[Thresholds] = None) -> None:
+        self.thresholds = thresholds or Thresholds()
+
+    # -- pattern predicates --------------------------------------------------
+
+    def writes_sequentially(self, p: FunctionPatterns) -> bool:
+        return (
+            p.total_writes >= self.thresholds.min_writes
+            and p.pct_sequential >= self.thresholds.sequential_share
+        )
+
+    def writes_before_fence(self, p: FunctionPatterns) -> bool:
+        return (
+            p.total_writes >= self.thresholds.min_writes
+            and p.fences.min_distance <= self.thresholds.fence_distance
+            and p.fences.fence_coverage >= self.thresholds.fence_coverage
+        )
+
+    # -- the decision ----------------------------------------------------------
+
+    def recommend(self, p: FunctionPatterns) -> Recommendation:
+        t = self.thresholds
+        sequential = self.writes_sequentially(p)
+        fenced = self.writes_before_fence(p)
+        if not sequential and not fenced:
+            return Recommendation(
+                patterns=p,
+                choice=PrestoreMode.NONE,
+                rationale=(
+                    "writes are neither sequential nor shortly followed by a "
+                    "fence; a pre-store would have no effect"
+                ),
+            )
+        rewrite = p.mean_rewrite
+        reread = p.mean_reread
+        if rewrite <= t.hot_rewrite:
+            return Recommendation(
+                patterns=p,
+                choice=PrestoreMode.NONE,
+                rationale=(
+                    f"data is rewritten every ~{rewrite:.0f} instructions; "
+                    "cleaning or skipping would push it to memory on every "
+                    "rewrite instead of overwriting it in the cache"
+                ),
+            )
+        if fenced and rewrite <= t.reuse_horizon:
+            # Demote only pays off against a fence: it publicises the
+            # write early.  Rewritten data with no ordering constraint is
+            # served best by leaving the cache alone (the re-read rule
+            # below may still fire).
+            return Recommendation(
+                patterns=p,
+                choice=PrestoreMode.DEMOTE,
+                rationale=(
+                    f"data is re-written (~{rewrite:.0f} instructions apart) "
+                    "and written shortly before fences: demote makes it "
+                    "visible before the fence while keeping it cached for "
+                    "the rewrite"
+                ),
+            )
+        if reread <= t.reuse_horizon:
+            return Recommendation(
+                patterns=p,
+                choice=PrestoreMode.CLEAN,
+                rationale=(
+                    f"data is re-read (~{reread:.0f} instructions after the "
+                    "write): clean starts the writeback but keeps the cached "
+                    "copy for the re-read"
+                ),
+            )
+        return Recommendation(
+            patterns=p,
+            choice=PrestoreMode.SKIP,
+            rationale=(
+                "data is neither re-read nor re-written: skip the cache with "
+                "non-temporal stores (clean if NT stores are impractical)"
+            ),
+            fallback=PrestoreMode.CLEAN,
+        )
+
+    def recommend_all(self, patterns: Sequence[FunctionPatterns]) -> List[Recommendation]:
+        return [self.recommend(p) for p in patterns]

@@ -1,0 +1,75 @@
+"""Paper-style rendering of DirtBuster's findings.
+
+The target format is the output blocks shown in Section 7, e.g.::
+
+    Eigen::TensorEvaluator<...<op>...>::run()
+    Location: <...>/TensorExecutor.h line 272
+    Perc. Seq. Writes: 50%
+    Size: 16.2MB - 10% - re-read inf - re-write inf
+    Size: 240B - 60% - re-read 2 - re-write inf
+    Pre-store choice: clean
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from repro.dirtbuster.recommend import Recommendation
+
+__all__ = ["format_size", "format_distance", "render_recommendation", "render_report"]
+
+
+def format_size(nbytes: int) -> str:
+    """1234 -> '1.2KB', 16986931 -> '16.2MB' (paper-style sizes)."""
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1000 or unit == "GB":
+            if unit == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def format_distance(instructions: float) -> str:
+    """2.0 -> '2', 23800.0 -> '23.8K', inf -> 'inf'."""
+    if math.isinf(instructions):
+        return "inf"
+    if instructions >= 1_000_000:
+        return f"{instructions / 1_000_000:.1f}M"
+    if instructions >= 1_000:
+        return f"{instructions / 1_000:.1f}K"
+    return f"{instructions:.0f}"
+
+
+def render_recommendation(rec: Recommendation) -> str:
+    """One paper-style output block for one function."""
+    p = rec.patterns
+    lines = [
+        f"{p.function}()",
+        f"Location: {p.file} line {p.line}",
+        f"Perc. Seq. Writes: {100.0 * p.pct_sequential:.0f}%",
+    ]
+    for bucket in p.buckets:
+        lines.append(
+            f"Size: {format_size(bucket.size)} - {100.0 * bucket.share:.0f}% - "
+            f"re-read {format_distance(bucket.reread)} - "
+            f"re-write {format_distance(bucket.rewrite)}"
+        )
+    if p.fences.writes_before_fence:
+        lines.append(
+            f"Writes before fence: min {format_distance(p.fences.min_distance)} instrs "
+            f"({100.0 * p.fences.fence_coverage:.0f}% of writes)"
+        )
+    lines.append(f"Pre-store choice: {rec.choice}")
+    if rec.fallback is not None:
+        lines.append(f"Fallback: {rec.fallback} (if non-temporal stores are impractical)")
+    lines.append(f"Rationale: {rec.rationale}")
+    return "\n".join(lines)
+
+
+def render_report(recommendations: Iterable[Recommendation]) -> str:
+    """Concatenated blocks, largest writers first."""
+    blocks: List[str] = [render_recommendation(rec) for rec in recommendations]
+    return "\n\n".join(blocks)

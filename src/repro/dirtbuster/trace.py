@@ -1,0 +1,155 @@
+"""Trace capture: the sampling and instrumentation front ends.
+
+DirtBuster uses two observation mechanisms (paper Figure 6):
+
+* :class:`SamplingTracer` — the ``perf``-equivalent.  It keeps one memory
+  access in every ``period``, with its IP and callchain.  Cheap and
+  imprecise: exactly what step 1 needs to rank write-intensive functions,
+  and exactly why it cannot compute strides or distances (Section 6.1,
+  "sampling one memory access every 10K instructions is too coarse
+  grain").
+* :class:`FullTracer` — the PIN-equivalent.  It records every load and
+  store of the selected functions plus *all* fence-semantics
+  instructions, preserving per-core program order.  This is the input to
+  steps 2 and 3.
+
+Both implement :class:`repro.sim.machine.Tracer` and attach to a machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TraceError
+from repro.sim.event import CodeSite, Event, EventKind
+from repro.sim.machine import Tracer
+
+__all__ = ["AccessRecord", "SamplingTracer", "FullTracer"]
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One traced instruction.
+
+    ``instr_index`` is the global retired-instruction counter at the time
+    the instruction executed — the unit all DirtBuster distances are
+    measured in.
+    """
+
+    instr_index: int
+    core_id: int
+    kind: EventKind
+    addr: int
+    size: int
+    site: CodeSite
+    callchain: Tuple[CodeSite, ...]
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind in (EventKind.WRITE, EventKind.ATOMIC)
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind is EventKind.READ
+
+    @property
+    def has_fence_semantics(self) -> bool:
+        return self.kind in (EventKind.FENCE, EventKind.ATOMIC)
+
+    @property
+    def function(self) -> str:
+        return self.site.function
+
+
+def _record_of(core_id: int, event: Event, instr_index: int) -> AccessRecord:
+    return AccessRecord(
+        instr_index=instr_index,
+        core_id=core_id,
+        kind=event.kind,
+        addr=event.addr,
+        size=event.size,
+        site=event.site,
+        callchain=event.callchain,
+    )
+
+
+class SamplingTracer(Tracer):
+    """Timer-based sampler: one sample per ``period`` cycles (perf-style).
+
+    Each executed event is weighted by the cycles it consumed, so the
+    sampled store share approximates "time spent issuing store
+    instructions" — the paper's Section 7.1 metric.  Samples falling on
+    compute are counted (they dilute the store share) but carry no
+    address; fences and pre-stores are attributed like compute.
+    """
+
+    def __init__(self, period: int = 229) -> None:
+        if period < 1:
+            raise TraceError(f"sampling period must be >= 1, got {period}")
+        self.period = period
+        self.samples: List[AccessRecord] = []
+        #: Samples that landed on non-memory work (compute/fences); they
+        #: count towards the time denominator only.
+        self.other_samples = 0
+        self._countdown: dict = {}
+
+    def record(self, core_id: int, event: Event, instr_index: int, cycles: float) -> None:
+        remaining = self._countdown.get(core_id, float(self.period)) - cycles
+        hits = 0
+        while remaining <= 0:
+            hits += 1
+            remaining += self.period
+        self._countdown[core_id] = remaining
+        if not hits:
+            return
+        if event.is_memory_access:
+            for _ in range(hits):
+                self.samples.append(_record_of(core_id, event, instr_index))
+        else:
+            self.other_samples += hits
+
+    def __len__(self) -> int:
+        return len(self.samples) + self.other_samples
+
+
+class FullTracer(Tracer):
+    """Record every load/store of selected functions, and every fence.
+
+    ``functions=None`` records everything (the paper's fully instrumented
+    mode); otherwise only accesses whose function — or any caller on the
+    callchain — is in the set are kept.  Fence-semantics instructions are
+    always kept regardless of location, because fences relevant to a
+    write-intensive function routinely live in other libraries (Section
+    6.1: "the atomic instructions of locks are generally called from the
+    pthread library").
+    """
+
+    def __init__(self, functions: Optional[Iterable[str]] = None) -> None:
+        self.functions: Optional[Set[str]] = set(functions) if functions is not None else None
+        self.records: List[AccessRecord] = []
+
+    def _selected(self, event: Event) -> bool:
+        if self.functions is None:
+            return True
+        if event.site.function in self.functions:
+            return True
+        return any(site.function in self.functions for site in event.callchain)
+
+    def record(self, core_id: int, event: Event, instr_index: int, cycles: float = 0.0) -> None:
+        if event.kind is EventKind.COMPUTE:
+            return
+        if event.has_fence_semantics or (event.is_memory_access and self._selected(event)):
+            self.records.append(_record_of(core_id, event, instr_index))
+        elif event.kind is EventKind.PRESTORE and self._selected(event):
+            self.records.append(_record_of(core_id, event, instr_index))
+
+    def per_core(self) -> dict:
+        """Records grouped by core, preserving program order."""
+        by_core: dict = {}
+        for rec in self.records:
+            by_core.setdefault(rec.core_id, []).append(rec)
+        return by_core
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the pre-stores reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, cache, device, or workload was configured inconsistently.
+
+    Examples: a cache whose size is not divisible by ``ways * line_size``,
+    a device with non-positive bandwidth, or a workload asked to run on
+    more cores than the machine has.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an impossible state.
+
+    This always indicates a bug in the simulator (or a corrupted event
+    stream), never a user mistake; it is the moral equivalent of a failed
+    internal assertion.
+    """
+
+
+class AllocationError(ReproError):
+    """The simulated address space could not satisfy an allocation."""
+
+
+class TraceError(ReproError):
+    """A DirtBuster trace was malformed or used out of order."""
+
+
+class AnalysisError(ReproError):
+    """A DirtBuster analysis step was invoked on unsuitable input."""
+
+
+class WorkloadError(ReproError):
+    """A workload was configured with invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment failed to produce the data it promised."""

@@ -1,0 +1,38 @@
+"""Per-table/figure experiment modules.
+
+Importing this package registers every experiment; use
+:func:`repro.experiments.get`/:func:`run_all` or the
+``prestores-experiments`` CLI to run them.
+"""
+
+from repro.experiments import (  # noqa: F401  (imports register experiments)
+    ablations,
+    fig3_listing1,
+    fig5_listing2,
+    fig7_tensorflow,
+    fig9_nas,
+    kv_machine_a,
+    kv_machine_b,
+    listing3_overhead,
+    sec74_overheads,
+    table1_devices,
+    table2_classification,
+    x9_latency,
+)
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentResult,
+    SeriesRow,
+    all_ids,
+    get,
+    run_all,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "SeriesRow",
+    "all_ids",
+    "get",
+    "run_all",
+]

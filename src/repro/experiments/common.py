@@ -1,0 +1,63 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.prestore import PatchConfig, PrestoreMode
+from repro.sim.machine import MachineSpec
+from repro.sim.stats import RunResult
+from repro.workloads.base import Workload
+
+__all__ = [
+    "run_variants",
+    "patch_all_sites",
+    "endorsed_patches",
+    "MANUAL_MISUSE_SITES",
+]
+
+#: Sites DirtBuster declines (Sections 5 and 7.4.2): patched only by the
+#: "incorrect manual use" experiments.
+MANUAL_MISUSE_SITES = ("ft.fftz2", "is.rank", "listing3.hot_line")
+
+
+def patch_all_sites(workload: Workload, mode: PrestoreMode) -> PatchConfig:
+    """Apply ``mode`` at every declared patch site of ``workload``."""
+    config = PatchConfig()
+    for site in workload.patch_sites():
+        config.set_mode(site.name, mode)
+    return config
+
+
+def endorsed_patches(workload: Workload, mode: PrestoreMode) -> PatchConfig:
+    """Apply ``mode`` at DirtBuster-endorsed sites only.
+
+    The manual-misuse sites (the hot fftz2 scratch, IS's random buckets,
+    Listing 3's hot line) stay unpatched, as DirtBuster recommends.
+    """
+    config = PatchConfig()
+    for site in workload.patch_sites():
+        if site.name not in MANUAL_MISUSE_SITES:
+            config.set_mode(site.name, mode)
+    return config
+
+
+def run_variants(
+    make_workload,
+    spec: MachineSpec,
+    modes: Iterable[PrestoreMode],
+    seed: int = 1234,
+    endorsed_only: bool = True,
+) -> Dict[PrestoreMode, RunResult]:
+    """Run one workload configuration under several pre-store modes.
+
+    ``make_workload`` is a zero-argument factory (a fresh instance per
+    run keeps the runs independent).
+    """
+    results: Dict[PrestoreMode, RunResult] = {}
+    for mode in modes:
+        workload = make_workload()
+        patch = endorsed_patches if endorsed_only else patch_all_sites
+        config = PatchConfig.baseline() if mode is PrestoreMode.NONE else patch(workload, mode)
+        results[mode] = workload.run(spec, config, seed=seed).run
+    return results

@@ -1,0 +1,66 @@
+"""Figure 9: normalized runtime of the NAS benchmarks with pre-stores."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.prestore import PrestoreMode
+from repro.experiments.common import run_variants
+from repro.experiments.registry import Experiment, ExperimentResult, SeriesRow, register
+from repro.sim.machine import machine_a
+from repro.workloads.nas import BTWorkload, FTWorkload, MGWorkload, SPWorkload, UAWorkload
+
+__all__ = ["Fig9NAS"]
+
+
+@register
+class Fig9NAS(Experiment):
+    id = "fig9"
+    title = "NAS benchmarks: normalized runtime with clean pre-stores (Machine A)"
+    paper_claim = (
+        "Pre-storing the DirtBuster-endorsed matrices (MG, FT, SP, UA, BT) "
+        "is up to 40% faster; normalized runtime (prestore/baseline) drops "
+        "below 1.0 for every patched kernel."
+    )
+
+    KERNELS = (MGWorkload, FTWorkload, SPWorkload, UAWorkload, BTWorkload)
+
+    def run(self, fast: bool = True, seed: int = 1234) -> ExperimentResult:
+        grid = 32 if fast else 48
+        iterations = 2
+        rows: List[SeriesRow] = []
+        for kernel_cls in self.KERNELS:
+            results = run_variants(
+                lambda cls=kernel_cls: cls(grid=grid, iterations=iterations, threads=4),
+                machine_a(),
+                (PrestoreMode.NONE, PrestoreMode.CLEAN),
+                seed=seed,
+                endorsed_only=True,  # fftz2 and friends stay unpatched
+            )
+            base = results[PrestoreMode.NONE]
+            clean = results[PrestoreMode.CLEAN]
+            rows.append(
+                SeriesRow(
+                    {"benchmark": kernel_cls.name},
+                    {
+                        "normalized_runtime": clean.cycles_with_drain / base.cycles_with_drain,
+                        "wa_baseline": base.write_amplification,
+                        "wa_clean": clean.write_amplification,
+                    },
+                )
+            )
+        return self._result(rows)
+
+    def check(self, result: ExperimentResult) -> List[str]:
+        failures: List[str] = []
+        for row in result.rows:
+            norm = row.metric("normalized_runtime")
+            if norm >= 1.0:
+                failures.append(f"{row.config['benchmark']}: pre-store should help, got {norm:.2f}")
+            if norm < 0.3:
+                failures.append(
+                    f"{row.config['benchmark']}: gain implausibly large ({norm:.2f})"
+                )
+            if row.metric("wa_clean") > row.metric("wa_baseline"):
+                failures.append(f"{row.config['benchmark']}: cleaning should reduce WA")
+        return failures

@@ -1,0 +1,146 @@
+"""Experiment framework: one registered experiment per paper table/figure.
+
+Every experiment produces an :class:`ExperimentResult` — a list of
+measured rows plus the paper's claim about their shape — and implements
+:meth:`Experiment.check`, which verifies the *shape* (who wins, by
+roughly what factor, where crossovers fall) rather than absolute cycle
+counts (DESIGN.md §3 explains why absolute numbers are simulator
+constants).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["SeriesRow", "ExperimentResult", "Experiment", "register", "get", "all_ids", "run_all"]
+
+
+@dataclass
+class SeriesRow:
+    """One measured point: a figure's data point or a table's row."""
+
+    #: The configuration that produced it, e.g. {"threads": 2, "size": 1024}.
+    config: Dict[str, object]
+    #: The measured values, e.g. {"speedup": 2.2, "wa_baseline": 3.3}.
+    metrics: Dict[str, float]
+
+    def metric(self, name: str) -> float:
+        try:
+            return float(self.metrics[name])
+        except KeyError:
+            raise ExperimentError(f"row {self.config} has no metric {name!r}") from None
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment produced."""
+
+    experiment_id: str
+    title: str
+    #: The paper's claim this experiment reproduces, quoted or summarised.
+    paper_claim: str
+    rows: List[SeriesRow]
+    #: Deviations or caveats discovered while reproducing.
+    notes: List[str] = field(default_factory=list)
+
+    def rows_where(self, **config) -> List[SeriesRow]:
+        """Rows whose config matches all given key/values."""
+        out = []
+        for row in self.rows:
+            if all(row.config.get(k) == v for k, v in config.items()):
+                out.append(row)
+        return out
+
+    def table(self) -> str:
+        """Render rows as an aligned text table."""
+        if not self.rows:
+            return f"{self.experiment_id}: (no rows)"
+        config_keys = sorted({k for r in self.rows for k in r.config})
+        metric_keys = sorted({k for r in self.rows for k in r.metrics})
+        header = config_keys + metric_keys
+        lines = ["  ".join(f"{h:>14s}" for h in header)]
+        for row in self.rows:
+            cells = [str(row.config.get(k, "")) for k in config_keys]
+            for k in metric_keys:
+                v = row.metrics.get(k)
+                cells.append("" if v is None else f"{v:.3f}" if isinstance(v, float) else str(v))
+            lines.append("  ".join(f"{c:>14s}" for c in cells))
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        head = [f"== {self.experiment_id}: {self.title} ==", f"paper claim: {self.paper_claim}"]
+        body = [self.table()]
+        tail = [f"note: {n}" for n in self.notes]
+        return "\n".join(head + body + tail)
+
+
+class Experiment(ABC):
+    """One paper table or figure."""
+
+    #: Stable id, e.g. ``"fig3"``; used by benches and the CLI.
+    id: str = "abstract"
+    title: str = ""
+    paper_claim: str = ""
+
+    @abstractmethod
+    def run(self, fast: bool = True, seed: int = 1234) -> ExperimentResult:
+        """Execute the experiment; ``fast`` uses scaled-down sweeps."""
+
+    def check(self, result: ExperimentResult) -> List[str]:
+        """Verify the reproduced shape; returns human-readable failures.
+
+        An empty list means the paper's qualitative claims held.
+        """
+        return []
+
+    def run_checked(self, fast: bool = True, seed: int = 1234) -> ExperimentResult:
+        """Run and append check failures to the result notes."""
+        result = self.run(fast=fast, seed=seed)
+        for failure in self.check(result):
+            result.notes.append(f"SHAPE CHECK FAILED: {failure}")
+        return result
+
+    def _result(self, rows: List[SeriesRow], notes: Optional[List[str]] = None) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+            rows=rows,
+            notes=notes or [],
+        )
+
+
+_REGISTRY: Dict[str, Callable[[], Experiment]] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator registering an Experiment by its id."""
+    if not issubclass(cls, Experiment):
+        raise ExperimentError(f"{cls!r} is not an Experiment")
+    if cls.id in _REGISTRY:
+        raise ExperimentError(f"duplicate experiment id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def get(experiment_id: str) -> Experiment:
+    """Instantiate a registered experiment."""
+    try:
+        return _REGISTRY[experiment_id]()
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def run_all(fast: bool = True, seed: int = 1234) -> Dict[str, ExperimentResult]:
+    """Run every registered experiment (the EXPERIMENTS.md generator)."""
+    return {eid: get(eid).run_checked(fast=fast, seed=seed) for eid in all_ids()}

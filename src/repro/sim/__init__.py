@@ -1,0 +1,59 @@
+"""Memory-hierarchy simulator: the hardware substrate of the reproduction.
+
+Substitutes for the paper's physical Machines A and B; see DESIGN.md §1
+for the substitution argument and §4 for the semantics.
+"""
+
+from repro.sim.cache import CacheHierarchy, CacheLevel, CacheLevelSpec
+from repro.sim.coherence import VisibilityModel
+from repro.sim.event import CodeSite, Event, EventKind, UNKNOWN_SITE
+from repro.sim.machine import (
+    Machine,
+    MachineSpec,
+    Tracer,
+    machine_a,
+    machine_a_cxl,
+    machine_b_fast,
+    machine_b_slow,
+    machine_dram,
+)
+from repro.sim.memory import (
+    DeviceSpec,
+    MemoryDevice,
+    cxl_ssd_spec,
+    dram_spec,
+    fpga_spec,
+    optane_pmem_spec,
+)
+from repro.sim.replacement import make_policy
+from repro.sim.stats import CoreStats, RunResult
+from repro.sim.store_buffer import StoreBuffer
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "CacheLevelSpec",
+    "CodeSite",
+    "CoreStats",
+    "DeviceSpec",
+    "Event",
+    "EventKind",
+    "Machine",
+    "MachineSpec",
+    "MemoryDevice",
+    "RunResult",
+    "StoreBuffer",
+    "Tracer",
+    "UNKNOWN_SITE",
+    "VisibilityModel",
+    "cxl_ssd_spec",
+    "dram_spec",
+    "fpga_spec",
+    "machine_a",
+    "machine_a_cxl",
+    "machine_b_fast",
+    "machine_b_slow",
+    "machine_dram",
+    "make_policy",
+    "optane_pmem_spec",
+]

@@ -1,0 +1,441 @@
+"""Set-associative write-back caches and the inclusive cache hierarchy.
+
+The hierarchy is the centrepiece of Problem #1 (Section 4.1): even when an
+application writes sequentially, pseudo-random replacement scrambles the
+order in which dirty lines reach memory, and a device with a write
+granularity larger than the CPU line suffers write amplification.
+
+Model choices (documented in DESIGN.md):
+
+* Caches are **inclusive**: a line present in L1 is present in every level
+  below it.  Evicting a line from the last level back-invalidates the
+  upper levels, collecting dirtiness on the way (the victim's most recent
+  data must reach memory).
+* Dirtiness lives at the *innermost* level holding the line; when an inner
+  level evicts a dirty line, the dirt moves one level out.
+* The hierarchy is shared by all simulated cores.  Private L1s would only
+  change constants; the eviction-order scrambling the paper measures comes
+  from the shared last level, which this models directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.replacement import ReplacementPolicy, TrueLRU
+
+__all__ = ["CacheLevelSpec", "CacheStats", "CacheLevel", "Eviction", "CacheHierarchy"]
+
+
+@dataclass(frozen=True)
+class CacheLevelSpec:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    #: Load-to-use latency of a hit at this level, in cycles.
+    hit_latency: int
+    #: Use hashed (slice-style) set indexing at this level.
+    hashed_index: bool = False
+
+    def validate(self, line_size: int) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.hit_latency < 0:
+            raise ConfigurationError(f"{self.name}: sizes, ways and latency must be positive")
+        if self.size_bytes % (self.ways * line_size) != 0:
+            raise ConfigurationError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"ways*line_size = {self.ways * line_size}"
+            )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    invalidations: int = 0
+    cleans: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A line pushed out of a cache level."""
+
+    line: int
+    dirty: bool
+
+
+class _Way:
+    """One way of one set (a tag and its dirty bit)."""
+
+    __slots__ = ("line", "dirty")
+
+    def __init__(self) -> None:
+        self.line: Optional[int] = None
+        self.dirty = False
+
+
+class CacheLevel:
+    """One set-associative, write-back, write-allocate cache level.
+
+    ``hashed_index`` spreads lines across sets with a multiplicative hash
+    instead of simple modulo, modelling the slice/set hashing of modern
+    last-level caches.  Hashing matters for Problem #1: it decouples the
+    sets of the (consecutive) lines that make up one device-granularity
+    block, so their evictions are *not* naturally co-scheduled — which is
+    part of why hardware eviction order looks random to the device.
+    """
+
+    def __init__(
+        self,
+        spec: CacheLevelSpec,
+        line_size: int,
+        policy: ReplacementPolicy,
+        hashed_index: bool = False,
+    ) -> None:
+        spec.validate(line_size)
+        self.spec = spec
+        self.line_size = line_size
+        self.policy = policy
+        self.hashed_index = hashed_index
+        self.num_sets = spec.size_bytes // (spec.ways * line_size)
+        self._sets: List[List[_Way]] = [
+            [_Way() for _ in range(spec.ways)] for _ in range(self.num_sets)
+        ]
+        self._policy_state = [policy.new_set(spec.ways) for _ in range(self.num_sets)]
+        # line -> (set index, way index); the fast path for lookups.
+        self._index: Dict[int, Tuple[int, int]] = {}
+        self.stats = CacheStats()
+
+    # -- queries ---------------------------------------------------------
+
+    def set_index(self, line: int) -> int:
+        """The set a line maps to (modulo, or hashed when configured)."""
+        if self.hashed_index:
+            # Fibonacci hashing: cheap, deterministic, well spread.
+            return ((line * 0x9E3779B97F4A7C15) >> 17) % self.num_sets
+        return line % self.num_sets
+
+    def contains(self, line: int) -> bool:
+        return line in self._index
+
+    def is_dirty(self, line: int) -> bool:
+        loc = self._index.get(line)
+        if loc is None:
+            return False
+        return self._sets[loc[0]][loc[1]].dirty
+
+    def resident_lines(self) -> Iterator[int]:
+        """All lines currently cached at this level."""
+        return iter(self._index)
+
+    def walk_lines(self) -> Iterator[int]:
+        """Resident lines in physical (set, way) order.
+
+        This is the order a ``wbinvd``-style walk pushes dirty lines out
+        in — *not* address order.  With hashed set indexing consecutive
+        addresses land in unrelated sets, so a flush stream is as
+        scrambled as ordinary evictions; draining in sorted address order
+        would fabricate merging the hardware cannot do.
+        """
+        for ways in self._sets:
+            for way in ways:
+                if way.line is not None:
+                    yield way.line
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.num_sets * self.spec.ways
+
+    def occupancy(self) -> int:
+        return len(self._index)
+
+    # -- mutations -------------------------------------------------------
+
+    def access(self, line: int, is_write: bool) -> bool:
+        """Look up ``line``; on a hit, update recency and dirtiness.
+
+        Returns True on hit.  Misses are *not* filled here — the hierarchy
+        decides fill order; see :meth:`install`.
+        """
+        loc = self._index.get(line)
+        if loc is None:
+            self.stats.misses += 1
+            return False
+        self.stats.hits += 1
+        set_i, way_i = loc
+        self.policy.on_access(self._policy_state[set_i], way_i)
+        if is_write:
+            self._sets[set_i][way_i].dirty = True
+        return True
+
+    def install(self, line: int, dirty: bool = False) -> Optional[Eviction]:
+        """Bring ``line`` in, evicting a victim if its set is full.
+
+        Returns the eviction (if any).  Installing an already-present line
+        just refreshes recency and ORs in the dirty bit.
+        """
+        loc = self._index.get(line)
+        if loc is not None:
+            set_i, way_i = loc
+            self.policy.on_access(self._policy_state[set_i], way_i)
+            if dirty:
+                self._sets[set_i][way_i].dirty = True
+            return None
+        set_i = self.set_index(line)
+        ways = self._sets[set_i]
+        evicted: Optional[Eviction] = None
+        way_i = next((i for i, w in enumerate(ways) if w.line is None), None)
+        if way_i is None:
+            way_i = self.policy.victim(self._policy_state[set_i])
+            victim = ways[way_i]
+            if victim.line is None:  # pragma: no cover - defensive
+                raise SimulationError(f"{self.spec.name}: policy chose an empty way as victim")
+            evicted = Eviction(victim.line, victim.dirty)
+            del self._index[victim.line]
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+        slot = ways[way_i]
+        slot.line = line
+        slot.dirty = dirty
+        self._index[line] = (set_i, way_i)
+        self.policy.on_insert(self._policy_state[set_i], way_i)
+        return evicted
+
+    def clean(self, line: int) -> bool:
+        """Clear the dirty bit, keeping the line resident.
+
+        Returns True if the line was present and dirty (i.e. a writeback
+        is owed to the next level).  This is the cache-state effect of a
+        *clean* pre-store (``clwb``): data stays cached.
+        """
+        loc = self._index.get(line)
+        if loc is None:
+            return False
+        slot = self._sets[loc[0]][loc[1]]
+        was_dirty = slot.dirty
+        slot.dirty = False
+        if was_dirty:
+            self.stats.cleans += 1
+        return was_dirty
+
+    def invalidate(self, line: int) -> Tuple[bool, bool]:
+        """Drop ``line``; returns ``(was_present, was_dirty)``."""
+        loc = self._index.pop(line, None)
+        if loc is None:
+            return (False, False)
+        slot = self._sets[loc[0]][loc[1]]
+        was_dirty = slot.dirty
+        slot.line = None
+        slot.dirty = False
+        self.stats.invalidations += 1
+        return (True, was_dirty)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CacheLevel {self.spec.name}: {self.spec.size_bytes}B, "
+            f"{self.num_sets}x{self.spec.ways} ways, line={self.line_size}B>"
+        )
+
+
+@dataclass
+class HierarchyAccessResult:
+    """Outcome of one hierarchy access."""
+
+    #: Name of the level that hit, or ``"memory"``.
+    hit_level: str
+    #: Load-to-use latency in cycles, excluding device queueing.
+    latency: int
+    #: Dirty lines pushed out to memory by fills along the way.
+    writebacks: List[int] = field(default_factory=list)
+    #: True when the request had to go to the memory device.
+    memory_access: bool = False
+
+
+class CacheHierarchy:
+    """An inclusive multi-level cache hierarchy.
+
+    ``levels`` are ordered innermost (L1) to outermost (LLC).  The memory
+    device itself lives outside this class: the hierarchy reports which
+    dirty lines fall out of the last level and the CPU forwards them to
+    the device (where write-combining and amplification happen).
+    """
+
+    def __init__(self, levels: Sequence[CacheLevel], line_size: int) -> None:
+        if not levels:
+            raise ConfigurationError("hierarchy requires at least one cache level")
+        sizes = [lvl.spec.size_bytes for lvl in levels]
+        if sizes != sorted(sizes):
+            raise ConfigurationError(
+                "inclusive hierarchy requires monotonically growing level sizes; "
+                f"got {sizes}"
+            )
+        for lvl in levels:
+            if lvl.line_size != line_size:
+                raise ConfigurationError("all levels must share the machine line size")
+        self.levels = list(levels)
+        self.line_size = line_size
+
+    @property
+    def last_level(self) -> CacheLevel:
+        return self.levels[-1]
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.line_size
+
+    # -- the main access path ---------------------------------------------
+
+    def access_line(self, line: int, is_write: bool) -> HierarchyAccessResult:
+        """Access one line, filling and evicting as needed.
+
+        Latency is the hit latency of the level that hit (memory latency
+        is added by the CPU, which owns the device clock).
+        """
+        latency = 0
+        hit_at: Optional[int] = None
+        for i, lvl in enumerate(self.levels):
+            latency += lvl.spec.hit_latency
+            if lvl.access(line, is_write):
+                hit_at = i
+                break
+        writebacks: List[int] = []
+        if hit_at is None:
+            # Miss everywhere: fill every level, outermost first so that
+            # inclusion holds even if an inner install evicts.
+            for lvl in reversed(self.levels):
+                evicted = lvl.install(line, dirty=False)
+                if evicted is not None:
+                    writebacks.extend(self._handle_eviction(lvl, evicted))
+            if is_write:
+                self._mark_dirty_innermost(line)
+            return HierarchyAccessResult("memory", latency, writebacks, memory_access=True)
+        # Fill the levels above the hit (inclusive fills).
+        for lvl in reversed(self.levels[:hit_at]):
+            evicted = lvl.install(line, dirty=False)
+            if evicted is not None:
+                writebacks.extend(self._handle_eviction(lvl, evicted))
+        if is_write:
+            self._mark_dirty_innermost(line)
+        return HierarchyAccessResult(self.levels[hit_at].spec.name, latency, writebacks)
+
+    def _mark_dirty_innermost(self, line: int) -> None:
+        for lvl in self.levels:
+            if lvl.contains(line):
+                lvl.access(line, is_write=True)
+                # Undo double-counted hit statistics: access() above was
+                # bookkeeping, not a program access.
+                lvl.stats.hits -= 1
+                return
+        raise SimulationError(f"line {line:#x} vanished during fill")  # pragma: no cover
+
+    def _handle_eviction(self, from_level: CacheLevel, evicted: Eviction) -> List[int]:
+        """Propagate an eviction; returns dirty lines that reach memory."""
+        idx = self.levels.index(from_level)
+        if idx == len(self.levels) - 1:
+            # LLC eviction: back-invalidate inner levels (inclusion) and
+            # collect their dirtiness.
+            dirty = evicted.dirty
+            for inner in self.levels[:idx]:
+                __, inner_dirty = inner.invalidate(evicted.line)
+                dirty = dirty or inner_dirty
+            return [evicted.line] if dirty else []
+        # Inner eviction: the line is still resident below (inclusion);
+        # push the dirt one level out.
+        below = self.levels[idx + 1]
+        if not below.contains(evicted.line):
+            # Inclusion was broken by a racing outer eviction during a
+            # multi-level fill; treat as memory-bound writeback.
+            return [evicted.line] if evicted.dirty else []
+        if evicted.dirty:
+            below.install(evicted.line, dirty=True)
+        return []
+
+    # -- pre-store support -------------------------------------------------
+
+    def clean_line(self, line: int) -> bool:
+        """Clean a line at every level; True if a writeback is owed.
+
+        This is ``clwb``: modifications propagate to memory, the cached
+        copies stay valid (Section 2: "cleaning the data propagates the
+        modifications to memory but does not invalidate the cache").
+        """
+        owed = False
+        for lvl in self.levels:
+            owed = lvl.clean(line) or owed
+        return owed
+
+    def demote_line(self, line: int) -> bool:
+        """Demote a line from the innermost level towards the last level.
+
+        Moves dirtiness (and recency priority) down: the line is dropped
+        from inner levels and installed dirty in the last level, mirroring
+        ``cldemote``.  Returns True if the line was present anywhere.
+        """
+        present = False
+        dirty = False
+        for lvl in self.levels[:-1]:
+            was_present, was_dirty = lvl.invalidate(line)
+            present = present or was_present
+            dirty = dirty or was_dirty
+        last = self.last_level
+        if last.contains(line):
+            present = True
+            if dirty:
+                last.access(line, is_write=True)
+                last.stats.hits -= 1
+        elif present:
+            last.install(line, dirty=dirty)
+        return present
+
+    def invalidate_line(self, line: int) -> bool:
+        """Drop a line everywhere; True if any copy was dirty."""
+        dirty = False
+        for lvl in self.levels:
+            __, was_dirty = lvl.invalidate(line)
+            dirty = dirty or was_dirty
+        return dirty
+
+    def contains(self, line: int) -> bool:
+        return any(lvl.contains(line) for lvl in self.levels)
+
+    def is_dirty(self, line: int) -> bool:
+        return any(lvl.is_dirty(line) for lvl in self.levels)
+
+    def drain_dirty_lines(self) -> List[int]:
+        """Flush: clean every level, returning dirty lines owed to memory.
+
+        Used at end of run so devices see all outstanding writebacks (like
+        powering down a machine with ``wbinvd``).  Lines come out in the
+        last level's physical walk order — see
+        :meth:`CacheLevel.walk_lines` for why sorted order would cheat.
+        """
+        owed: List[int] = []
+        seen = set()
+        for lvl in reversed(self.levels):
+            for line in lvl.walk_lines():
+                if lvl.clean(line) and line not in seen:
+                    seen.add(line)
+                    owed.append(line)
+        # Dirty lines only present in inner levels (not in the walk above
+        # because inclusion was momentarily broken) still owe a writeback.
+        for lvl in self.levels[:-1]:
+            for line in list(lvl.resident_lines()):
+                if lvl.clean(line) and line not in seen:
+                    seen.add(line)
+                    owed.append(line)
+        return owed

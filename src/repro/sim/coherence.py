@@ -1,0 +1,49 @@
+"""Store-visibility cost model (the coherence directory).
+
+Section 4.2 explains why making a write globally visible is expensive on
+long-latency memories: the cache must (a) acquire the line in exclusive
+mode — and "in many modern cache implementations, the cache directory is
+located on the cached device", so this is a device round trip — and (b)
+read the full cache line prior to updating it, another device round trip
+if the line is not already cached.
+
+:class:`VisibilityModel` turns (device, cache-state) into the number of
+cycles a pending store needs before it is globally visible.  It is shared
+by the store buffer (fences, demotes) and the atomics path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.memory import MemoryDevice
+
+__all__ = ["VisibilityModel"]
+
+
+@dataclass
+class VisibilityModel:
+    """Computes visibility latency for one store.
+
+    ``sram_directory_latency`` is the cost of a directory update when the
+    directory is *not* device-resident (conventional on-die snoop filter);
+    ``local_publish_latency`` is the cost of pushing data from private CPU
+    buffers into a globally visible cache level once ownership is held.
+    """
+
+    sram_directory_latency: int = 12
+    local_publish_latency: int = 4
+
+    def visibility_latency(self, device: MemoryDevice, line_cached_exclusive: bool) -> int:
+        """Cycles from 'start making this store visible' to 'visible'.
+
+        Two serial phases, both device-latency-bound when the directory
+        lives on the device (Section 4.2's bullet list):
+
+        1. the directory update acquiring the line in exclusive mode, and
+        2. the read of the full line before updating it — skipped when the
+           line is already cached in an exclusive/modified state.
+        """
+        directory = device.directory_latency or self.sram_directory_latency
+        fill = 0 if line_cached_exclusive else device.spec.read_latency
+        return directory + fill + self.local_publish_latency

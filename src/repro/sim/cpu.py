@@ -1,0 +1,317 @@
+"""The simulated core: executes event streams against the machine state.
+
+Each :class:`Core` owns a clock and a private store buffer and shares the
+cache hierarchy and memory device with its siblings.  The execution rules
+implement the paper's cost model:
+
+* loads hit the store buffer (forwarding) or walk the hierarchy; misses
+  pay the device read latency;
+* stores cost one cycle into the store buffer; the line is fetched into
+  the cache (write-allocate) when its *visibility* round trip starts —
+  immediately under TSO, lazily (fence / demote / overflow) under the weak
+  model;
+* fences and atomics block until every buffered store is globally
+  visible, which is where delayed visibility hurts (Problem #2);
+* dirty lines evicted from the last level, cleaned by ``clwb``-style
+  pre-stores, or written non-temporally flow to the device, whose
+  write-combiner and bandwidth queue turn eviction *order* into write
+  amplification and backpressure (Problem #1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List
+
+from repro.core.prestore import CYCLES_PER_PRESTORE, PrestoreOp
+from repro.errors import SimulationError
+from repro.sim.event import Event, EventKind
+from repro.sim.stats import CoreStats
+from repro.sim.store_buffer import StoreBuffer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.machine import Machine
+
+__all__ = ["Core"]
+
+#: Store-to-load forwarding latency, cycles.
+FORWARD_LATENCY = 1
+#: Base cost of executing one store into the buffer, cycles.
+STORE_ISSUE_COST = 1
+#: Base cost of a fence instruction itself (excluding visibility waits).
+FENCE_ISSUE_COST = 2
+
+
+class Core:
+    """One simulated CPU core."""
+
+    def __init__(self, core_id: int, machine: "Machine") -> None:
+        self.machine = machine
+        self.clock = 0.0
+        self.stats = CoreStats(core_id=core_id)
+        self.store_buffer = StoreBuffer(
+            model=machine.spec.memory_model,
+            capacity=machine.spec.store_buffer_capacity,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    @property
+    def core_id(self) -> int:
+        return self.stats.core_id
+
+    def _transfer_cost(self, line: int) -> int:
+        """Cost of pulling a line out of another core's private copy.
+
+        The directory resolving the transfer is device-resident on both
+        evaluation platforms (Section 4.2), so the transfer pays a device
+        round trip.  Demote/clean pre-stores push lines to the shared
+        point of unification, which is exactly what removes this cost for
+        consumers (the X9 case).
+        """
+        machine = self.machine
+        owner = machine.line_owner.get(line)
+        if owner is None or owner == self.core_id:
+            return 0
+        return machine.device.directory_latency or machine.visibility.sram_directory_latency
+
+    def _visibility_latency(self, line: int) -> int:
+        """Start a visibility round trip for a buffered store to ``line``.
+
+        Side effect: the line is installed (dirty) into the hierarchy —
+        this is the moment the write leaves private buffers and becomes a
+        cache-resident modification.  Fill/eviction traffic triggered here
+        is charged like any other fill.
+        """
+        machine = self.machine
+        cached = machine.hierarchy.contains(line)
+        latency = machine.visibility.visibility_latency(machine.device, cached)
+        result = machine.hierarchy.access_line(line, is_write=True)
+        if result.memory_access:
+            # The read-for-ownership really fetches the line from the
+            # device: it occupies media bandwidth (in the background, so
+            # no core stall here) — the traffic non-temporal stores avoid.
+            machine.device.read(line * machine.line_size, machine.line_size, self.clock)
+        machine.line_owner[line] = self.core_id
+        self._emit_writebacks(result.writebacks)
+        return latency
+
+    def _emit_writebacks(self, lines: Iterable[int]) -> None:
+        """Send dirty LLC evictions to the device.
+
+        No stall here: demand reads have priority over the write backlog
+        on real memory controllers, so eviction traffic triggered by a
+        read does not block the reader.  The backlog is paid by the next
+        *store* (see :meth:`_apply_backpressure`), which is also where
+        perf attributes the time — "time issuing store instructions".
+        """
+        machine = self.machine
+        for line in lines:
+            machine.device.write_back(line * machine.line_size, machine.line_size, self.clock)
+            self.store_buffer.evict_line(line)
+
+    def _apply_backpressure(self) -> None:
+        """Stall when the device write queue exceeds the allowed backlog.
+
+        This is how write amplification becomes lost throughput: amplified
+        media writes queue up, the backlog crosses the threshold, and the
+        writer core waits (Figure 3's multi-thread regime).
+        """
+        machine = self.machine
+        backlog = machine.device.backlog(self.clock)
+        excess = backlog - machine.spec.backlog_limit_cycles
+        if excess > 0:
+            self.clock += excess
+            self.stats.backpressure_stall_cycles += excess
+
+    # -- event execution -------------------------------------------------------
+
+    def execute(self, event: Event) -> None:
+        """Run one instruction, advancing the core clock."""
+        kind = event.kind
+        if kind is EventKind.COMPUTE:
+            self.stats.instructions += event.size
+            self.clock += event.size * self.machine.spec.cycles_per_compute
+            return
+        self.stats.instructions += 1
+        if kind is EventKind.READ:
+            self._do_read(event)
+        elif kind is EventKind.WRITE:
+            if event.nontemporal:
+                self._do_nontemporal_write(event)
+            else:
+                self._do_write(event)
+        elif kind is EventKind.FENCE:
+            self._do_fence(event)
+        elif kind is EventKind.ATOMIC:
+            self._do_atomic(event)
+        elif kind is EventKind.PRESTORE:
+            self._do_prestore(event)
+        elif kind is EventKind.POST:
+            event.mailbox.post(event.sync_key, self.clock)
+            self.clock += 1
+        else:  # pragma: no cover - exhaustive
+            raise SimulationError(f"unknown event kind {kind!r}")
+
+    # -- loads -----------------------------------------------------------------
+
+    def _do_read(self, event: Event) -> None:
+        """Execute a load.
+
+        A multi-line read event models a streamed access (vectorised loop
+        body, value scan): its line fills pipeline — they serialise on
+        media occupancy but pay the device latency only once, as hardware
+        prefetchers and fill buffers achieve on real CPUs.  Single-line
+        reads behave identically (one fill, one latency).
+        """
+        machine = self.machine
+        self.stats.reads += 1
+        hit_latency = 0.0
+        mem_done = self.clock
+        for line in event.lines(machine.line_size):
+            if self.store_buffer.contains(line):
+                hit_latency = max(hit_latency, FORWARD_LATENCY)
+                continue
+            transfer = self._transfer_cost(line)
+            if transfer:
+                # Reading another core's private copy: the line becomes
+                # shared once transferred.
+                machine.line_owner.pop(line, None)
+            result = machine.hierarchy.access_line(line, is_write=False)
+            hit_latency = max(hit_latency, float(result.latency) + transfer)
+            if result.memory_access:
+                done = machine.device.read(line * machine.line_size, machine.line_size, self.clock)
+                mem_done = max(mem_done, done)
+            self._emit_writebacks(result.writebacks)
+        wait = max(hit_latency, mem_done - self.clock)
+        if mem_done > self.clock:
+            self.stats.memory_read_cycles += mem_done - self.clock
+        self.clock += wait
+
+    # -- stores ----------------------------------------------------------------
+
+    def _do_write(self, event: Event) -> None:
+        machine = self.machine
+        self.stats.writes += 1
+        self.clock += STORE_ISSUE_COST
+        for line in event.lines(machine.line_size):
+            if machine.hierarchy.contains(line):
+                # The line is already cache-resident: this store dirties it
+                # now (a previous clean pre-store must not hide the new
+                # modification).  Store latency itself is pipelined away.
+                machine.hierarchy.access_line(line, is_write=True)
+                machine.line_owner[line] = self.core_id
+            stall = self.store_buffer.write(line, self.clock, self._visibility_latency)
+            if stall > 0:
+                self.clock += stall
+                self.stats.store_buffer_stall_cycles += stall
+        self._apply_backpressure()
+
+    def _do_nontemporal_write(self, event: Event) -> None:
+        """A cache-skipping store: straight to the device, in program order.
+
+        Because non-temporal stores arrive at the device in the order the
+        program issued them, sequential NT streams merge perfectly in the
+        device combiner.  The cached copy (if any) is invalidated, so a
+        later read of this data pays a full device round trip — the
+        re-read penalty the paper observes when skipping re-used data.
+        """
+        machine = self.machine
+        self.stats.writes += 1
+        self.stats.nontemporal_writes += 1
+        self.clock += STORE_ISSUE_COST
+        for line in event.lines(machine.line_size):
+            machine.hierarchy.invalidate_line(line)
+            machine.line_owner.pop(line, None)
+            self.store_buffer.evict_line(line)
+        machine.device.write_back(event.addr, event.size, self.clock)
+        self._apply_backpressure()
+
+    # -- ordering ----------------------------------------------------------------
+
+    def _do_fence(self, event: Event) -> None:
+        self.stats.fences += 1
+        self.clock += FENCE_ISSUE_COST
+        if event.fence_scope == "load":
+            # Acquire fence: orders reads only.  Our loads execute in
+            # order already, so the issue cost is the whole story.
+            return
+        done = self.store_buffer.drain(self.clock, self._visibility_latency)
+        self._stall_for_ordering(done)
+
+    def _stall_for_ordering(self, visible_at: float) -> None:
+        """Block until ``visible_at``, paying the pipeline-drain tax.
+
+        A fence that has to *wait* does more damage than the wait itself:
+        retirement blocks, the ROB fills, and the front end restarts once
+        drained.  The multiplier models that restart cost growing with the
+        stall — it is what makes last-minute publication (Figure 4a) more
+        expensive than the early, overlapped round trip of a demote.
+        """
+        stall = visible_at - self.clock
+        if stall > 0:
+            stall *= self.machine.spec.fence_stall_multiplier
+            self.clock += stall
+            self.stats.fence_stall_cycles += stall
+
+    def _do_atomic(self, event: Event) -> None:
+        """RMW with fence semantics (cmpxchg and friends, Section 6.2.2).
+
+        The store-buffer drain and the exclusive acquisition of the
+        target line overlap, as they do in hardware: the RFO for the CAS
+        target is issued while earlier stores become visible.  This is
+        why pre-storing ahead of the atomic removes the drain from the
+        critical path (Section 7.3.1's "reducing the time spent in the
+        atomic instructions of the lock by 74%").
+        """
+        machine = self.machine
+        self.stats.atomics += 1
+        # All prior stores must be visible before the RMW completes.
+        done = self.store_buffer.drain(self.clock, self._visibility_latency)
+        drain_stall = max(0.0, done - self.clock) * machine.spec.fence_stall_multiplier
+        # Acquire the target line exclusively (concurrently).
+        line = machine.hierarchy.line_of(event.addr)
+        transfer = self._transfer_cost(line)
+        result = machine.hierarchy.access_line(line, is_write=True)
+        machine.line_owner[line] = self.core_id
+        acquire = float(result.latency) + transfer
+        if result.memory_access:
+            read_done = machine.device.read(line * machine.line_size, machine.line_size, self.clock)
+            acquire += read_done - self.clock
+        self._emit_writebacks(result.writebacks)
+        wait = max(drain_stall, acquire)
+        if drain_stall > acquire:
+            self.stats.fence_stall_cycles += drain_stall - acquire
+        self.clock += wait + machine.spec.atomic_base_cost
+
+    # -- pre-stores ----------------------------------------------------------------
+
+    def _do_prestore(self, event: Event) -> None:
+        machine = self.machine
+        self.stats.prestores += 1
+        if event.op is PrestoreOp.DEMOTE:
+            for line in event.lines(machine.line_size):
+                self.clock += CYCLES_PER_PRESTORE
+                started = self.store_buffer.demote(line, self.clock, self._visibility_latency)
+                if not started:
+                    # Nothing parked: demote the cached copy down-hierarchy.
+                    machine.hierarchy.demote_line(line)
+                # Demotion pushes the line to the point of unification:
+                # other cores can now pull it without a transfer.
+                machine.line_owner.pop(line, None)
+        elif event.op is PrestoreOp.CLEAN:
+            wrote = False
+            for line in event.lines(machine.line_size):
+                self.clock += CYCLES_PER_PRESTORE
+                # A parked private store must become cache-resident before
+                # its line can be cleaned to memory.
+                self.store_buffer.demote(line, self.clock, self._visibility_latency)
+                machine.line_owner.pop(line, None)
+                if machine.hierarchy.clean_line(line):
+                    machine.device.write_back(
+                        line * machine.line_size, machine.line_size, self.clock
+                    )
+                    wrote = True
+            if wrote:
+                self._apply_backpressure()
+        else:  # pragma: no cover - exhaustive
+            raise SimulationError(f"unknown prestore op {event.op!r}")

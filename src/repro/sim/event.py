@@ -1,0 +1,181 @@
+"""Memory event model: the instruction stream seen by the simulator.
+
+Workloads are generators of :class:`Event` objects.  The simulated CPU
+consumes them, advancing its clock and mutating cache / store-buffer /
+device state; DirtBuster's tracer observes the very same stream, which is
+what makes the "PIN instrumentation" substitution faithful — both the
+machine and the analysis see every load and store the program performs.
+
+Each non-``COMPUTE`` event counts as exactly one retired instruction;
+``COMPUTE(n)`` stands for ``n`` arithmetic instructions between memory
+operations.  DirtBuster's re-read / re-write / fence distances (paper
+Section 6.2.3) are measured in these instruction counts.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.prestore import PrestoreOp
+from repro.errors import SimulationError
+
+__all__ = ["EventKind", "CodeSite", "Event", "Mailbox", "UNKNOWN_SITE"]
+
+
+class EventKind(enum.Enum):
+    """The vocabulary of simulated instructions."""
+
+    READ = "read"
+    WRITE = "write"
+    #: ``n`` non-memory instructions (ALU work); advances time and the
+    #: instruction counter but touches no cache state.
+    COMPUTE = "compute"
+    #: Memory fence.  ``fence_scope`` distinguishes a full/store fence
+    #: (``mfence`` / ``dmb ish``: prior stores must be globally visible)
+    #: from a load/acquire fence (``dmb ishld``: orders reads only and
+    #: does not drain the store buffer).
+    FENCE = "fence"
+    #: Atomic read-modify-write (e.g. ``cmpxchg``, ``ldaxr``/``stlxr``
+    #: pairs).  Has fence semantics, as the paper notes in Section 6.2.2.
+    ATOMIC = "atomic"
+    #: A ``prestore(addr, size, op)`` call.
+    PRESTORE = "prestore"
+    #: Publish a synchronisation timestamp (models the *effect* of a
+    #: flag store the partner spins on).
+    POST = "post"
+    #: Spin until a POSTed key is available (models a spin-wait loop).
+    WAIT = "wait"
+
+
+class Mailbox:
+    """Cross-thread synchronisation channel for workloads.
+
+    A POST event records the posting core's clock under a key; a WAIT
+    event blocks its core until the key exists, then advances the waiting
+    core's clock to the post time (it could not have observed the flag
+    earlier).  This models spin-wait handshakes (X9's inbox ring, barrier
+    phases) without simulating every spin iteration.
+    """
+
+    def __init__(self) -> None:
+        self._times: dict = {}
+
+    def post(self, key, time: float) -> None:
+        existing = self._times.get(key)
+        if existing is None or time < existing:
+            self._times[key] = time
+
+    def get(self, key):
+        return self._times.get(key)
+
+    def __contains__(self, key) -> bool:
+        return key in self._times
+
+
+_ip_counter = itertools.count(0x400000)
+
+
+@dataclass(frozen=True)
+class CodeSite:
+    """A synthetic program location: function, file, line, and a fake IP.
+
+    Plays the role of the instruction pointer + debug info that perf and
+    PIN report.  Sites are interned by the workload layer so that pointer
+    equality works for grouping, but value equality is also defined.
+    """
+
+    function: str
+    file: str = "<unknown>"
+    line: int = 0
+    ip: int = field(default_factory=lambda: next(_ip_counter))
+
+    def __str__(self) -> str:
+        return f"{self.function} at {self.file}:{self.line} (ip={self.ip:#x})"
+
+
+#: Default site for events emitted outside any labelled function.
+UNKNOWN_SITE = CodeSite(function="<unlabelled>", file="<unknown>", line=0)
+
+
+@dataclass
+class Event:
+    """One simulated instruction.
+
+    ``addr``/``size`` describe the touched byte range for memory events.
+    ``site`` and ``callchain`` carry the provenance DirtBuster needs;
+    ``callchain`` is the tuple of caller sites, innermost last, exactly
+    like a perf callchain.
+    """
+
+    kind: EventKind
+    addr: int = 0
+    size: int = 0
+    #: Pre-store operation; only meaningful for ``PRESTORE`` events.
+    op: Optional[PrestoreOp] = None
+    #: True for non-temporal ("cache skipping") stores.
+    nontemporal: bool = False
+    #: For FENCE events: "full" drains the store buffer, "load" only
+    #: orders reads (cheap).
+    fence_scope: str = "full"
+    #: For POST/WAIT events: the mailbox and key to synchronise on.
+    mailbox: Optional[Mailbox] = None
+    sync_key: object = None
+    site: CodeSite = UNKNOWN_SITE
+    callchain: Tuple[CodeSite, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind in (EventKind.READ, EventKind.WRITE, EventKind.PRESTORE, EventKind.ATOMIC):
+            if self.size <= 0:
+                raise SimulationError(f"{self.kind.value} event requires size > 0, got {self.size}")
+            if self.addr < 0:
+                raise SimulationError(f"{self.kind.value} event requires addr >= 0, got {self.addr}")
+        if self.kind is EventKind.COMPUTE and self.size <= 0:
+            raise SimulationError(f"compute event requires a positive instruction count, got {self.size}")
+        if self.kind is EventKind.PRESTORE and self.op is None:
+            raise SimulationError("prestore event requires an op (DEMOTE or CLEAN)")
+        if self.nontemporal and self.kind is not EventKind.WRITE:
+            raise SimulationError("only WRITE events can be non-temporal")
+        if self.kind in (EventKind.POST, EventKind.WAIT) and self.mailbox is None:
+            raise SimulationError(f"{self.kind.value} event requires a mailbox")
+
+    @property
+    def is_memory_access(self) -> bool:
+        """True for events that read or write program data."""
+        return self.kind in (EventKind.READ, EventKind.WRITE, EventKind.ATOMIC)
+
+    @property
+    def is_store(self) -> bool:
+        """True for events that dirty program data (writes and atomics)."""
+        return self.kind in (EventKind.WRITE, EventKind.ATOMIC)
+
+    @property
+    def has_fence_semantics(self) -> bool:
+        """True for instructions that order *writes* (Section 6.2.2).
+
+        Load/acquire fences order reads only; they neither drain the
+        store buffer nor count as the paper's "instructions with fence
+        semantics" for write-before-fence detection.
+        """
+        if self.kind is EventKind.ATOMIC:
+            return True
+        return self.kind is EventKind.FENCE and self.fence_scope == "full"
+
+    def lines(self, line_size: int) -> range:
+        """The cache-line numbers this event's byte range covers."""
+        if not (self.is_memory_access or self.kind is EventKind.PRESTORE):
+            return range(0)
+        first = self.addr // line_size
+        last = (self.addr + self.size - 1) // line_size
+        return range(first, last + 1)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind is EventKind.COMPUTE:
+            return f"compute({self.size})"
+        if self.kind is EventKind.FENCE:
+            return "fence"
+        extra = f", op={self.op}" if self.op else ""
+        nt = ", nt" if self.nontemporal else ""
+        return f"{self.kind.value}(addr={self.addr:#x}, size={self.size}{extra}{nt})"

@@ -1,0 +1,358 @@
+"""Machine assembly and the multi-core scheduler.
+
+:class:`MachineSpec` bundles the geometry and timing of a whole platform;
+:class:`Machine` instantiates it and runs event-generator "threads" on its
+cores, interleaving them by simulated time — which is precisely the
+mechanism that scrambles last-level-cache access order when several
+threads write concurrently (Section 4.1: "The interleaving of the memory
+accesses performed by the threads results in seemingly random memory
+accesses at the Last Level Cache").
+
+Presets model the paper's two platforms:
+
+* :func:`machine_a` — Machine A: Xeon-like cores (64 B lines, TSO) in
+  front of Optane persistent memory (256 B internal granularity).
+* :func:`machine_b_fast` / :func:`machine_b_slow` — Machine B: Enzian,
+  ThunderX-like cores (128 B lines, weak memory model) in front of
+  cache-coherent FPGA memory at 60 cyc / 10 GB/s or 200 cyc / 1.5 GB/s.
+
+Cache and working-set sizes are scaled down so pure-Python runs finish in
+seconds; all experiments report relative numbers (see DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.cache import CacheHierarchy, CacheLevel, CacheLevelSpec
+from repro.sim.coherence import VisibilityModel
+from repro.sim.cpu import Core
+from repro.sim.event import Event, EventKind
+from repro.sim.memory import (
+    DeviceSpec,
+    MemoryDevice,
+    cxl_ssd_spec,
+    dram_spec,
+    fpga_spec,
+    optane_pmem_spec,
+)
+from repro.sim.replacement import make_policy
+from repro.sim.stats import RunResult
+
+__all__ = [
+    "MachineSpec",
+    "Machine",
+    "Tracer",
+    "machine_a",
+    "machine_a_cxl",
+    "machine_b_fast",
+    "machine_b_slow",
+    "machine_dram",
+]
+
+#: A thread body: an iterator of events (usually a generator).
+ThreadBody = Iterator[Event]
+
+
+class Tracer:
+    """Observer interface for DirtBuster.
+
+    The machine calls :meth:`record` for every executed event with the
+    executing core's retired-instruction index — the per-thread counter
+    DirtBuster distances are measured in (Section 6.2.3; PIN counts
+    instructions per thread) — and the cycles the event consumed, which
+    timer-based samplers (perf) weight their samples by.
+    """
+
+    def record(
+        self, core_id: int, event: Event, instr_index: int, cycles: float
+    ) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Full static description of a simulated platform."""
+
+    name: str
+    line_size: int
+    memory_model: str  # "tso" or "weak"
+    cache_levels: Tuple[CacheLevelSpec, ...]
+    device: DeviceSpec
+    replacement_policy: str = "intel-like"
+    num_cores: int = 8
+    store_buffer_capacity: int = 56
+    #: Queued device-write cycles tolerated before stores stall.
+    backlog_limit_cycles: float = 400.0
+    #: Cost of the RMW part of an atomic, beyond ordering/acquisition.
+    atomic_base_cost: int = 12
+    #: Pipeline-drain tax on fence/atomic waits: every cycle a fence
+    #: spends waiting for store visibility costs this many cycles of lost
+    #: execution (retirement blocks, ROB fills, front end restarts).
+    fence_stall_multiplier: float = 1.5
+    cycles_per_compute: float = 0.5
+    seed: int = 42
+
+    def validate(self) -> None:
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise ConfigurationError(f"line size must be a power of two, got {self.line_size}")
+        if not self.cache_levels:
+            raise ConfigurationError("a machine needs at least one cache level")
+        if self.num_cores <= 0:
+            raise ConfigurationError("a machine needs at least one core")
+        for spec in self.cache_levels:
+            spec.validate(self.line_size)
+        self.device.validate()
+
+
+class Machine:
+    """A live simulated platform: caches + device + cores + scheduler."""
+
+    def __init__(self, spec: MachineSpec, tracer: Optional[Tracer] = None) -> None:
+        spec.validate()
+        self.spec = spec
+        self.line_size = spec.line_size
+        self.device = MemoryDevice(spec.device)
+        levels = [
+            CacheLevel(
+                ls,
+                spec.line_size,
+                make_policy(spec.replacement_policy, seed=spec.seed + i),
+                hashed_index=ls.hashed_index,
+            )
+            for i, ls in enumerate(spec.cache_levels)
+        ]
+        self.hierarchy = CacheHierarchy(levels, spec.line_size)
+        self.visibility = VisibilityModel()
+        self.cores = [Core(i, self) for i in range(spec.num_cores)]
+        #: line -> core id of the last writer whose copy is still private
+        #: (M/E state).  Accessing such a line from another core pays a
+        #: directory round trip — on Machine B the directory lives on the
+        #: FPGA, so producer/consumer line transfers cost a full device
+        #: round trip (Section 4.2).  ``None`` = shared / at the point of
+        #: unification (where demote pre-stores push data).
+        self.line_owner: Dict[int, int] = {}
+        self.tracer = tracer
+        self._instr_index = 0
+        self._finished = False
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, bodies: Sequence[ThreadBody]) -> RunResult:
+        """Execute thread bodies to completion and return statistics.
+
+        Threads are assigned to cores round-robin (at most one thread per
+        core) and interleaved by simulated time: at each step the thread
+        whose core clock is smallest executes its next event.
+        """
+        if self._finished:
+            raise SimulationError("Machine instances are single-use; build a new one per run")
+        if not bodies:
+            raise ConfigurationError("run() needs at least one thread body")
+        if len(bodies) > len(self.cores):
+            raise ConfigurationError(
+                f"{len(bodies)} threads exceed the machine's {len(self.cores)} cores"
+            )
+        live: List[List] = [[self.cores[i], iter(body), None] for i, body in enumerate(bodies)]
+        while live:
+            entry = min(live, key=lambda e: e[0].clock)
+            core, body, pending = entry
+            event = pending if pending is not None else next(body, None)
+            entry[2] = None
+            if event is None:
+                live.remove(entry)
+                continue
+            if event.kind is EventKind.WAIT:
+                posted = event.mailbox.get(event.sync_key)
+                if posted is None:
+                    # Spin: advance past the next other-thread activity so
+                    # the poster gets to run; re-check the same event.
+                    others = [e[0].clock for e in live if e[0] is not core]
+                    if not others:
+                        raise SimulationError(
+                            f"deadlock: waiting on {event.sync_key!r} with no "
+                            "other runnable thread"
+                        )
+                    core.clock = max(core.clock, min(others)) + 1.0
+                    entry[2] = event
+                    continue
+                core.clock = max(core.clock, posted)
+                self._instr_index += 1
+                core.stats.instructions += 1
+                continue
+            self.step(core, event)
+        return self.finish()
+
+    def step(self, core: Core, event: Event) -> None:
+        """Execute one event on one core (tracing included)."""
+        weight = event.size if event.kind is EventKind.COMPUTE else 1
+        self._instr_index += weight
+        index = core.stats.instructions  # per-core, pre-retirement
+        before = core.clock
+        core.execute(event)
+        if self.tracer is not None:
+            self.tracer.record(core.stats.core_id, event, index, core.clock - before)
+
+    def finish(self) -> RunResult:
+        """Drain caches and devices, then snapshot statistics."""
+        if self._finished:
+            raise SimulationError("finish() called twice")
+        self._finished = True
+        end = max((c.clock for c in self.cores), default=0.0)
+        for line in self.hierarchy.drain_dirty_lines():
+            self.device.write_back(line * self.line_size, self.line_size, end)
+        self.device.flush(end)
+        return self._snapshot(end, self.device.quiesce_time(end))
+
+    def _snapshot(self, cycles: float, cycles_with_drain: float) -> RunResult:
+        for core in self.cores:
+            core.stats.cycles = core.clock
+        dev = self.device.stats
+        return RunResult(
+            machine_name=self.spec.name,
+            cycles=cycles,
+            cycles_with_drain=cycles_with_drain,
+            instructions=sum(c.stats.instructions for c in self.cores),
+            cores=[c.stats for c in self.cores],
+            cache_hits={l.spec.name: l.stats.hits for l in self.hierarchy.levels},
+            cache_misses={l.spec.name: l.stats.misses for l in self.hierarchy.levels},
+            cache_evictions={l.spec.name: l.stats.evictions for l in self.hierarchy.levels},
+            cache_dirty_evictions={
+                l.spec.name: l.stats.dirty_evictions for l in self.hierarchy.levels
+            },
+            device_writebacks=dev.writebacks_received,
+            device_bytes_received=dev.bytes_received,
+            device_media_bytes_written=dev.media_bytes_written,
+            device_reads=dev.reads,
+            device_bytes_read=dev.bytes_read,
+        )
+
+    @property
+    def instruction_count(self) -> int:
+        """Retired instructions so far (the DirtBuster distance clock)."""
+        return self._instr_index
+
+
+# -- presets ---------------------------------------------------------------
+
+
+def _xeon_levels(llc_kb: int) -> Tuple[CacheLevelSpec, ...]:
+    return (
+        CacheLevelSpec(name="L1", size_bytes=32 * 1024, ways=8, hit_latency=4),
+        CacheLevelSpec(name="L2", size_bytes=128 * 1024, ways=8, hit_latency=14),
+        CacheLevelSpec(name="LLC", size_bytes=llc_kb * 1024, ways=16, hit_latency=40, hashed_index=True),
+    )
+
+
+def machine_a(
+    llc_kb: int = 512,
+    num_cores: int = 10,
+    pmem_bandwidth: float = 1.1,
+    seed: int = 42,
+) -> MachineSpec:
+    """Machine A: Xeon Gold-like cores caching Optane persistent memory.
+
+    64 B cache lines in front of a 256 B-granularity medium, TSO
+    visibility, Intel-like (PLRU + random) replacement.  The LLC is scaled
+    down (default 512 KB vs. the real 27.5 MB) to match scaled workloads.
+    """
+    return MachineSpec(
+        name="machine-A",
+        line_size=64,
+        memory_model="tso",
+        cache_levels=_xeon_levels(llc_kb),
+        device=optane_pmem_spec(bandwidth=pmem_bandwidth),
+        replacement_policy="intel-like",
+        num_cores=num_cores,
+        backlog_limit_cycles=400.0,
+        seed=seed,
+    )
+
+
+def machine_dram(llc_kb: int = 512, num_cores: int = 10, seed: int = 42) -> MachineSpec:
+    """Machine A's geometry with conventional DRAM behind the caches.
+
+    The control platform: 64 B internal granularity means no write
+    amplification, so pre-stores should change little — used by overhead
+    experiments and tests.
+    """
+    return MachineSpec(
+        name="machine-A-dram",
+        line_size=64,
+        memory_model="tso",
+        cache_levels=_xeon_levels(llc_kb),
+        device=dram_spec(),
+        replacement_policy="intel-like",
+        num_cores=num_cores,
+        seed=seed,
+    )
+
+
+def machine_a_cxl(
+    llc_kb: int = 512,
+    num_cores: int = 10,
+    granularity: int = 512,
+    seed: int = 42,
+) -> MachineSpec:
+    """Machine A's CPU in front of byte-addressable CXL-attached storage.
+
+    The architecture the paper's introduction motivates as the coming
+    norm (Section 3, Table 1): same x86 cores and caches as Machine A,
+    but the cached medium is a CXL SSD with a 256B/512B internal write
+    unit, higher latency, and lower bandwidth than Optane — write
+    amplification and visibility costs are both amplified.
+    """
+    return MachineSpec(
+        name=f"machine-A-cxl{granularity}",
+        line_size=64,
+        memory_model="tso",
+        cache_levels=_xeon_levels(llc_kb),
+        device=cxl_ssd_spec(granularity=granularity),
+        replacement_policy="intel-like",
+        num_cores=num_cores,
+        backlog_limit_cycles=600.0,
+        seed=seed,
+    )
+
+
+def _thunderx_levels(l2_kb: int) -> Tuple[CacheLevelSpec, ...]:
+    return (
+        CacheLevelSpec(name="L1", size_bytes=32 * 1024, ways=8, hit_latency=4),
+        CacheLevelSpec(name="L2", size_bytes=l2_kb * 1024, ways=16, hit_latency=30, hashed_index=True),
+    )
+
+
+def _machine_b(
+    name: str, fpga_latency: int, fpga_bandwidth: float, l2_kb: int, num_cores: int, seed: int
+) -> MachineSpec:
+    return MachineSpec(
+        name=name,
+        line_size=128,
+        memory_model="weak",
+        cache_levels=_thunderx_levels(l2_kb),
+        device=fpga_spec(read_latency=fpga_latency, bandwidth=fpga_bandwidth, line_size=128),
+        replacement_policy="arm-like",
+        num_cores=num_cores,
+        backlog_limit_cycles=600.0,
+        atomic_base_cost=20,
+        seed=seed,
+    )
+
+
+def machine_b_fast(l2_kb: int = 512, num_cores: int = 12, seed: int = 42) -> MachineSpec:
+    """Machine B-Fast: Enzian with the FPGA at 60 cycles / 10 GB/s.
+
+    10 GB/s at ~2 GHz is ~5 bytes/cycle.  Representative of future
+    high-end CXL-accessible memory (Section 3).
+    """
+    return _machine_b("machine-B-fast", 60, 5.0, l2_kb, num_cores, seed)
+
+
+def machine_b_slow(l2_kb: int = 512, num_cores: int = 12, seed: int = 42) -> MachineSpec:
+    """Machine B-Slow: the FPGA at 200 cycles / 1.5 GB/s (~0.75 B/cyc).
+
+    Representative of medium-tier CXL-accessible storage (Section 3).
+    """
+    return _machine_b("machine-B-slow", 200, 0.75, l2_kb, num_cores, seed)

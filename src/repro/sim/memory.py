@@ -1,0 +1,358 @@
+"""Memory device models: DRAM, Optane PMEM, CXL SSD, FPGA-attached DRAM.
+
+Devices differ in three paper-relevant ways (Table 1 and Section 3):
+
+* **Internal write granularity** — the unit the medium actually writes.
+  A 64 B cache-line writeback landing on a 256 B-granularity device forces
+  a 256 B read-modify-write unless it can be merged with neighbouring
+  writebacks: that is write amplification.
+* **Latency** — cycles for a round trip; on Machine B the coherence
+  directory also lives on the device, so *visibility* operations pay this
+  latency too.
+* **Bandwidth** — bytes per cycle the medium sustains; amplified writes
+  consume it, which is what turns WA into lost throughput once enough
+  threads contend (Figure 3).
+
+The write combiner models the device-side buffering (e.g. Optane's
+XPBuffer): a bounded set of open ``granularity``-sized entries.  Writebacks
+that land in an open entry merge for free; closing an entry costs one
+internal write of the full granularity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DeviceSpec",
+    "DeviceStats",
+    "WriteCombiner",
+    "MemoryDevice",
+    "dram_spec",
+    "optane_pmem_spec",
+    "cxl_ssd_spec",
+    "fpga_spec",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a memory device."""
+
+    name: str
+    #: Round-trip read latency in CPU cycles.
+    read_latency: int
+    #: Additional latency of a write reaching the medium, in cycles.
+    write_latency: int
+    #: Internal read/write unit of the medium, in bytes (Table 1).
+    internal_granularity: int
+    #: Sustained internal write bandwidth in bytes per CPU cycle.
+    bandwidth_bytes_per_cycle: float
+    #: Media read bandwidth; defaults to the write bandwidth.  Optane
+    #: reads are ~3x faster than writes, but both occupy the same media,
+    #: which is how write amplification slows reads down too.
+    read_bandwidth_bytes_per_cycle: Optional[float] = None
+    #: Number of open write-combining entries on the device.
+    combiner_entries: int = 64
+    #: True when the coherence directory is resident on this device
+    #: (Section 4.2: Intel stores it in DRAM/PMEM, Enzian in the FPGA).
+    hosts_directory: bool = True
+
+    def validate(self) -> None:
+        if self.read_latency < 0 or self.write_latency < 0:
+            raise ConfigurationError(f"{self.name}: latencies must be non-negative")
+        if self.internal_granularity <= 0 or self.internal_granularity & (self.internal_granularity - 1):
+            raise ConfigurationError(
+                f"{self.name}: internal granularity must be a positive power of two, "
+                f"got {self.internal_granularity}"
+            )
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidth must be positive")
+        if self.read_bandwidth_bytes_per_cycle is not None and self.read_bandwidth_bytes_per_cycle <= 0:
+            raise ConfigurationError(f"{self.name}: read bandwidth must be positive")
+        if self.combiner_entries <= 0:
+            raise ConfigurationError(f"{self.name}: combiner needs at least one entry")
+
+
+@dataclass
+class DeviceStats:
+    """Counters matching what ``ipmctl`` exposes on real PMEM.
+
+    ``bytes_received`` counts cache-line bytes arriving from the CPU;
+    ``media_bytes_written`` counts what the medium actually wrote.  Their
+    ratio is the write amplification the paper measures with ipmctl.
+    """
+
+    writebacks_received: int = 0
+    bytes_received: int = 0
+    media_writes: int = 0
+    media_bytes_written: int = 0
+    reads: int = 0
+    bytes_read: int = 0
+    combiner_merges: int = 0
+
+    def write_amplification(self) -> float:
+        """media bytes written / cache bytes evicted (1.0 = none)."""
+        if self.bytes_received == 0:
+            return 1.0
+        return self.media_bytes_written / self.bytes_received
+
+
+class WriteCombiner:
+    """Bounded set of open internal-granularity write entries.
+
+    Tracks, per open entry, which bytes have arrived.  An entry closes
+    (costing one full-granularity media write) when it is evicted to make
+    room or at :meth:`flush`.  Sequential writeback streams keep hitting
+    the same open entry and merge perfectly; scrambled streams thrash.
+    """
+
+    def __init__(self, granularity: int, entries: int) -> None:
+        self.granularity = granularity
+        self.capacity = entries
+        #: block number -> bytes merged so far (insertion ordered).
+        self._open: "OrderedDict[int, int]" = OrderedDict()
+        self.merges = 0
+        self.closes = 0
+
+    def block_of(self, addr: int) -> int:
+        return addr // self.granularity
+
+    def add(self, addr: int, size: int) -> int:
+        """Absorb a writeback; returns the number of entries closed."""
+        closed = 0
+        remaining = size
+        offset = addr
+        while remaining > 0:
+            block = self.block_of(offset)
+            block_end = (block + 1) * self.granularity
+            chunk = min(remaining, block_end - offset)
+            if block in self._open:
+                self._open[block] += chunk
+                self._open.move_to_end(block)
+                self.merges += 1
+            else:
+                if len(self._open) >= self.capacity:
+                    self._open.popitem(last=False)
+                    self.closes += 1
+                    closed += 1
+                self._open[block] = chunk
+            offset += chunk
+            remaining -= chunk
+        return closed
+
+    def flush(self) -> int:
+        """Close all open entries; returns how many closed."""
+        closed = len(self._open)
+        self.closes += closed
+        self._open.clear()
+        return closed
+
+    @property
+    def open_entries(self) -> int:
+        return len(self._open)
+
+
+class MemoryDevice:
+    """A memory device with a shared bandwidth queue and write combining.
+
+    Time is passed in by callers (the CPU clocks); the device keeps a
+    single ``next_free`` horizon modelling its serial internal bandwidth.
+    ``backlog(now)`` tells callers how many cycles of work are queued —
+    the CPU uses it to apply store backpressure.
+    """
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        spec.validate()
+        self.spec = spec
+        self.stats = DeviceStats()
+        self.combiner = WriteCombiner(spec.internal_granularity, spec.combiner_entries)
+        #: The *bus* queue: every writeback's payload crosses the link to
+        #: the device, merged or not — this is what makes cleaning a hot
+        #: line expensive (Listing 3) even though the media dedupes it.
+        self._bus_next_free = 0.0
+        #: The *media* queue: internal granularity-sized writes.  Under
+        #: write amplification this queue carries WA× the bus bytes and
+        #: becomes the bottleneck.
+        self._media_next_free = 0.0
+        #: Recently read media blocks: consecutive line fills within one
+        #: internal-granularity block cost one media read, not four (the
+        #: device buffers the block it just read).
+        self._read_buffer: "OrderedDict[int, bool]" = OrderedDict()
+
+    # -- time/bandwidth helpers -------------------------------------------
+
+    def backlog(self, now: float) -> float:
+        """Cycles of queued work not yet started at ``now``.
+
+        The bus and the media pipeline in parallel; the backlog seen by a
+        writer is whichever stage is further behind.
+        """
+        return max(0.0, self._bus_next_free - now, self._media_next_free - now)
+
+    def _consume_bus(self, now: float, nbytes: int) -> float:
+        start = max(now, self._bus_next_free)
+        self._bus_next_free = start + nbytes / self.spec.bandwidth_bytes_per_cycle
+        return self._bus_next_free
+
+    def _consume_media(self, now: float, nbytes: int) -> float:
+        start = max(now, self._media_next_free)
+        self._media_next_free = start + nbytes / self.spec.bandwidth_bytes_per_cycle
+        return self._media_next_free
+
+    # -- CPU-visible operations ---------------------------------------------
+
+    def read(self, addr: int, size: int, now: float) -> float:
+        """A demand read (line fill); returns its completion time.
+
+        Reads occupy the same media as writes (an internal-granularity
+        read-modify-read), so a large writeback backlog delays them —
+        this is how write amplification slows down GET-heavy phases on
+        real PMEM.  The CPU-side backpressure limit bounds how far behind
+        the media can be, so reads never starve.
+        """
+        self.stats.reads += 1
+        self.stats.bytes_read += size
+        read_bw = self.spec.read_bandwidth_bytes_per_cycle or self.spec.bandwidth_bytes_per_cycle
+        gran = self.spec.internal_granularity
+        media_bytes = 0
+        for block in range(addr // gran, (addr + max(size, 1) - 1) // gran + 1):
+            if block in self._read_buffer:
+                self._read_buffer.move_to_end(block)
+                continue
+            media_bytes += gran
+            self._read_buffer[block] = True
+            if len(self._read_buffer) > self.spec.combiner_entries:
+                self._read_buffer.popitem(last=False)
+        occupancy = media_bytes / read_bw
+        start = max(now, self._media_next_free)
+        self._media_next_free = start + occupancy
+        return start + occupancy + self.spec.read_latency
+
+    def write_back(self, addr: int, size: int, now: float) -> float:
+        """A cache-line writeback arriving from the CPU.
+
+        The payload lands in the combiner; any entries the arrival closes
+        become media writes of the full internal granularity, queued on
+        the bandwidth horizon.  Returns the time the writeback is durable
+        on the medium (== enqueue time when it merely merged).
+        """
+        self.stats.writebacks_received += 1
+        self.stats.bytes_received += size
+        done = self._consume_bus(now, size)
+        closed = self.combiner.add(addr, size)
+        for _ in range(closed):
+            self.stats.media_writes += 1
+            self.stats.media_bytes_written += self.spec.internal_granularity
+            done = max(done, self._consume_media(now, self.spec.internal_granularity))
+        return done + (self.spec.write_latency if closed else 0)
+
+    def flush(self, now: float) -> float:
+        """Close every open combiner entry (end of run / ``wbinvd``)."""
+        closed = self.combiner.flush()
+        done = float(now)
+        for _ in range(closed):
+            self.stats.media_writes += 1
+            self.stats.media_bytes_written += self.spec.internal_granularity
+            done = max(done, self._consume_media(now, self.spec.internal_granularity))
+        return done
+
+    def quiesce_time(self, now: float) -> float:
+        """When all queued bus/media work will have finished."""
+        return max(now, self._bus_next_free, self._media_next_free)
+
+    @property
+    def directory_latency(self) -> int:
+        """Latency of one coherence-directory update.
+
+        Zero when the directory is not device-resident (then its cost is
+        folded into the cache latencies).
+        """
+        return self.spec.read_latency if self.spec.hosts_directory else 0
+
+    def write_amplification(self) -> float:
+        return self.stats.write_amplification()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MemoryDevice {self.spec.name} gran={self.spec.internal_granularity}B>"
+
+
+# -- presets (Table 1 and Section 3) ----------------------------------------
+
+
+def dram_spec(read_latency: int = 90, bandwidth: float = 12.0) -> DeviceSpec:
+    """Directly attached DDR DRAM: 64 B granularity, no amplification."""
+    return DeviceSpec(
+        name="DRAM",
+        read_latency=read_latency,
+        write_latency=30,
+        internal_granularity=64,
+        bandwidth_bytes_per_cycle=bandwidth,
+        combiner_entries=64,
+        hosts_directory=False,
+    )
+
+
+def optane_pmem_spec(
+    read_latency: int = 170,
+    bandwidth: float = 1.1,
+    combiner_entries: int = 24,
+) -> DeviceSpec:
+    """Intel Optane persistent memory (Machine A's cached medium).
+
+    256 B internal granularity (Table 1); a small on-DIMM combining
+    buffer; write bandwidth well below DRAM.  The default bandwidth
+    (~2.2 GB/s/DIMM-group at 2.1 GHz) is scaled to our simulator units;
+    only ratios matter for the reproduced claims.
+    """
+    return DeviceSpec(
+        name="Optane-PMEM",
+        read_latency=read_latency,
+        write_latency=60,
+        internal_granularity=256,
+        bandwidth_bytes_per_cycle=bandwidth,
+        read_bandwidth_bytes_per_cycle=3.0 * bandwidth,
+        combiner_entries=combiner_entries,
+        hosts_directory=True,
+    )
+
+
+def cxl_ssd_spec(granularity: int = 512, read_latency: int = 400, bandwidth: float = 0.8) -> DeviceSpec:
+    """Byte-addressable CXL-attached SSD: 256/512 B internal granularity."""
+    if granularity not in (256, 512):
+        raise ConfigurationError("CXL SSDs use 256B or 512B internal granularity (Table 1)")
+    return DeviceSpec(
+        name=f"CXL-SSD-{granularity}B",
+        read_latency=read_latency,
+        write_latency=200,
+        internal_granularity=granularity,
+        bandwidth_bytes_per_cycle=bandwidth,
+        combiner_entries=32,
+        hosts_directory=True,
+    )
+
+
+def fpga_spec(read_latency: int, bandwidth: float, line_size: int = 128) -> DeviceSpec:
+    """Enzian-style cache-coherent FPGA memory (Machine B).
+
+    Granularity equals the CPU line size, so no write amplification is
+    possible — matching Section 6.2.3's note that Machine B gains nothing
+    from sequentiality.  The coherence directory is FPGA-resident, so
+    visibility operations pay the FPGA latency (Section 4.2).
+    """
+    return DeviceSpec(
+        name=f"FPGA-mem({read_latency}cyc)",
+        read_latency=read_latency,
+        write_latency=read_latency // 2,
+        internal_granularity=line_size,
+        bandwidth_bytes_per_cycle=bandwidth,
+        # The FPGA fronts ordinary DRAM: reads are cheap and highly
+        # parallel compared to the coherent-write path.
+        read_bandwidth_bytes_per_cycle=4.0 * bandwidth,
+        combiner_entries=64,
+        hosts_directory=True,
+    )

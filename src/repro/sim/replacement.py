@@ -1,0 +1,287 @@
+"""Cache replacement policies.
+
+The paper's Problem #1 hinges on the fact that modern caches do *not*
+evict in strict LRU order: "Intel CPUs rely on a pseudo-LRU and 'random'
+evictions to reduce the cost of maintaining LRU.  Similarly, ARM CPUs
+implement a mix of LRU, FIFO, and random evictions" (Section 4.1).
+
+Each policy manages per-set metadata of its own shape; the cache gives it
+way indices on insert/access and asks for a victim way on conflict.  All
+randomised policies draw from a seeded :class:`random.Random` owned by the
+policy so that simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, List, Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = [
+    "ReplacementPolicy",
+    "TrueLRU",
+    "FIFO",
+    "RandomReplacement",
+    "TreePLRU",
+    "IntelLikePolicy",
+    "ArmLikePolicy",
+    "make_policy",
+]
+
+
+class ReplacementPolicy(ABC):
+    """Per-set victim selection strategy.
+
+    The cache calls :meth:`new_set` once per set, then feeds accesses and
+    insertions through :meth:`on_access` / :meth:`on_insert` and asks
+    :meth:`victim` for the way index to evict when the set is full.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def new_set(self, ways: int) -> Any:
+        """Create the metadata object for one ``ways``-wide set."""
+
+    @abstractmethod
+    def on_insert(self, state: Any, way: int) -> None:
+        """A line was installed into ``way``."""
+
+    @abstractmethod
+    def on_access(self, state: Any, way: int) -> None:
+        """The line in ``way`` was hit by a load or store."""
+
+    @abstractmethod
+    def victim(self, state: Any) -> int:
+        """The way index to evict from a full set."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class TrueLRU(ReplacementPolicy):
+    """Strict least-recently-used: the textbook baseline.
+
+    Under true LRU, an application that writes arrays one after the other
+    sees them evicted in the order they were written — the ideal the
+    paper's Figure 2 contrasts real hardware against.
+    """
+
+    name = "lru"
+
+    def new_set(self, ways: int) -> List[int]:
+        # Recency stack: index 0 = LRU, last = MRU.
+        return list(range(ways))
+
+    def on_insert(self, state: List[int], way: int) -> None:
+        self.on_access(state, way)
+
+    def on_access(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.append(way)
+
+    def victim(self, state: List[int]) -> int:
+        return state[0]
+
+
+class FIFO(ReplacementPolicy):
+    """First-in first-out: eviction order ignores hits entirely."""
+
+    name = "fifo"
+
+    def new_set(self, ways: int) -> List[int]:
+        return list(range(ways))
+
+    def on_insert(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.append(way)
+
+    def on_access(self, state: List[int], way: int) -> None:
+        # Hits do not change FIFO order.
+        pass
+
+    def victim(self, state: List[int]) -> int:
+        return state[0]
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Uniformly random victim selection."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def new_set(self, ways: int) -> int:
+        return ways
+
+    def on_insert(self, state: int, way: int) -> None:
+        pass
+
+    def on_access(self, state: int, way: int) -> None:
+        pass
+
+    def victim(self, state: int) -> int:
+        return self._rng.randrange(state)
+
+
+class TreePLRU(ReplacementPolicy):
+    """Tree pseudo-LRU: the classic 1-bit-per-node approximation.
+
+    For a ``w``-way set (``w`` a power of two) a binary tree of ``w - 1``
+    bits points away from recently used ways.  Pseudo-LRU approximates LRU
+    well but diverges under exactly the interleaved access patterns the
+    paper cares about, producing out-of-order evictions.
+    """
+
+    name = "tree-plru"
+
+    def new_set(self, ways: int) -> List[int]:
+        if ways & (ways - 1):
+            raise ConfigurationError(f"TreePLRU requires power-of-two ways, got {ways}")
+        # bits[0] is the root; children of node i are 2i+1 and 2i+2.
+        return [0] * (ways - 1)
+
+    def _touch(self, bits: List[int], way: int) -> None:
+        ways = len(bits) + 1
+        node = 0
+        lo, hi = 0, ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                bits[node] = 1  # point away: right subtree is "older"
+                node = 2 * node + 1
+                hi = mid
+            else:
+                bits[node] = 0
+                node = 2 * node + 2
+                lo = mid
+        del node  # fully descended
+
+    def on_insert(self, state: List[int], way: int) -> None:
+        self._touch(state, way)
+
+    def on_access(self, state: List[int], way: int) -> None:
+        self._touch(state, way)
+
+    def victim(self, state: List[int]) -> int:
+        ways = len(state) + 1
+        node = 0
+        lo, hi = 0, ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if state[node] == 1:
+                node = 2 * node + 2  # bit points right = right is older
+                lo = mid
+            else:
+                node = 2 * node + 1
+                hi = mid
+        return lo
+
+
+class IntelLikePolicy(ReplacementPolicy):
+    """Tree-PLRU with a random-victim component, as on Intel cores.
+
+    With probability ``random_prob`` the victim is chosen uniformly at
+    random instead of by the PLRU tree, modelling the adaptive/random
+    behaviour documented for Ivy Bridge and later (paper ref. [45]).
+    """
+
+    name = "intel-like"
+
+    def __init__(self, random_prob: float = 0.25, seed: int = 0) -> None:
+        if not 0.0 <= random_prob <= 1.0:
+            raise ConfigurationError(f"random_prob must be in [0, 1], got {random_prob}")
+        self.random_prob = random_prob
+        self._plru = TreePLRU()
+        self._rng = random.Random(seed)
+
+    def new_set(self, ways: int) -> Any:
+        return (ways, self._plru.new_set(ways))
+
+    def on_insert(self, state: Any, way: int) -> None:
+        self._plru.on_insert(state[1], way)
+
+    def on_access(self, state: Any, way: int) -> None:
+        self._plru.on_access(state[1], way)
+
+    def victim(self, state: Any) -> int:
+        ways, bits = state
+        if self._rng.random() < self.random_prob:
+            return self._rng.randrange(ways)
+        return self._plru.victim(bits)
+
+
+class ArmLikePolicy(ReplacementPolicy):
+    """A mix of LRU, FIFO and random eviction, as on ARM cores.
+
+    Per eviction one of the three sub-policies is drawn according to the
+    configured weights (paper ref. [3] documents such mixed behaviour for
+    ARM cache controllers).
+    """
+
+    name = "arm-like"
+
+    def __init__(
+        self,
+        lru_weight: float = 0.5,
+        fifo_weight: float = 0.25,
+        random_weight: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        total = lru_weight + fifo_weight + random_weight
+        if total <= 0 or min(lru_weight, fifo_weight, random_weight) < 0:
+            raise ConfigurationError("ArmLikePolicy weights must be non-negative and sum > 0")
+        self._weights = (lru_weight / total, fifo_weight / total, random_weight / total)
+        self._lru = TrueLRU()
+        self._fifo = FIFO()
+        self._rng = random.Random(seed)
+
+    def new_set(self, ways: int) -> Any:
+        return (ways, self._lru.new_set(ways), self._fifo.new_set(ways))
+
+    def on_insert(self, state: Any, way: int) -> None:
+        self._lru.on_insert(state[1], way)
+        self._fifo.on_insert(state[2], way)
+
+    def on_access(self, state: Any, way: int) -> None:
+        self._lru.on_access(state[1], way)
+        self._fifo.on_access(state[2], way)
+
+    def victim(self, state: Any) -> int:
+        ways, lru_state, fifo_state = state
+        draw = self._rng.random()
+        if draw < self._weights[0]:
+            return self._lru.victim(lru_state)
+        if draw < self._weights[0] + self._weights[1]:
+            return self._fifo.victim(fifo_state)
+        return self._rng.randrange(ways)
+
+
+_POLICIES = {
+    "lru": TrueLRU,
+    "fifo": FIFO,
+    "random": RandomReplacement,
+    "tree-plru": TreePLRU,
+    "intel-like": IntelLikePolicy,
+    "arm-like": ArmLikePolicy,
+}
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a policy by name (seeded where applicable).
+
+    >>> make_policy("lru").name
+    'lru'
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    if cls in (RandomReplacement, IntelLikePolicy, ArmLikePolicy):
+        return cls(seed=seed)  # type: ignore[call-arg]
+    return cls()

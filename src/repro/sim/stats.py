@@ -1,0 +1,118 @@
+"""Aggregated run statistics.
+
+One :class:`RunResult` is produced per simulation; experiments compare
+results across patch configurations (baseline vs. clean vs. demote vs.
+skip) to produce the paper's speedup / write-amplification numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["CoreStats", "RunResult"]
+
+
+@dataclass
+class CoreStats:
+    """Per-core cycle and instruction accounting."""
+
+    core_id: int = 0
+    cycles: float = 0.0
+    instructions: int = 0
+    reads: int = 0
+    writes: int = 0
+    nontemporal_writes: int = 0
+    fences: int = 0
+    atomics: int = 0
+    prestores: int = 0
+    #: Cycles stalled waiting for fences/atomics to observe visibility.
+    fence_stall_cycles: float = 0.0
+    #: Cycles stalled on device write backpressure.
+    backpressure_stall_cycles: float = 0.0
+    #: Cycles stalled on store-buffer overflow.
+    store_buffer_stall_cycles: float = 0.0
+    #: Demand-read cycles spent waiting on the memory device.
+    memory_read_cycles: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one simulated run."""
+
+    machine_name: str
+    cycles: float
+    #: ``cycles`` plus the time to drain all dirty data to the device at
+    #: the end of the run.  Short write-heavy runs park dirty lines in
+    #: the cache; steady-state throughput comparisons should use this.
+    cycles_with_drain: float
+    instructions: int
+    cores: List[CoreStats]
+    #: Per-cache-level stat snapshots keyed by level name.
+    cache_hits: Dict[str, int]
+    cache_misses: Dict[str, int]
+    cache_evictions: Dict[str, int]
+    cache_dirty_evictions: Dict[str, int]
+    #: Device counters (the simulated ipmctl view).
+    device_writebacks: int
+    device_bytes_received: int
+    device_media_bytes_written: int
+    device_reads: int
+    device_bytes_read: int
+    #: Units of application work completed (set by the workload; used for
+    #: throughput).
+    work_items: int = 0
+    #: Free-form extra metrics workloads want to expose.
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def write_amplification(self) -> float:
+        """Media bytes written per cache byte evicted (>= ~1.0)."""
+        if self.device_bytes_received == 0:
+            return 1.0
+        return self.device_media_bytes_written / self.device_bytes_received
+
+    @property
+    def total_fence_stall_cycles(self) -> float:
+        return sum(c.fence_stall_cycles for c in self.cores)
+
+    @property
+    def total_backpressure_stall_cycles(self) -> float:
+        return sum(c.backpressure_stall_cycles for c in self.cores)
+
+    def throughput(self, work_items: Optional[int] = None, with_drain: bool = True) -> float:
+        """Completed work items per kilocycle (higher is better).
+
+        ``with_drain`` (default) charges the end-of-run writeback drain,
+        approximating steady state for short write-heavy runs.
+        """
+        items = self.work_items if work_items is None else work_items
+        cycles = self.cycles_with_drain if with_drain else self.cycles
+        if cycles <= 0:
+            return 0.0
+        return 1000.0 * items / cycles
+
+    def drained_speedup_over(self, baseline: "RunResult") -> float:
+        """Like :meth:`speedup_over` but drain-inclusive."""
+        if self.cycles_with_drain <= 0:
+            return float("inf")
+        return baseline.cycles_with_drain / self.cycles_with_drain
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Baseline cycles / our cycles (>1 means we are faster)."""
+        if self.cycles <= 0:
+            return float("inf")
+        return baseline.cycles / self.cycles
+
+    def summary(self) -> str:
+        """A compact human-readable digest."""
+        return (
+            f"{self.machine_name}: {self.cycles:,.0f} cycles, "
+            f"{self.instructions:,} instrs, WA={self.write_amplification:.2f}x, "
+            f"fence stalls={self.total_fence_stall_cycles:,.0f}cyc, "
+            f"backpressure={self.total_backpressure_stall_cycles:,.0f}cyc"
+        )

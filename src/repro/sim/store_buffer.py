@@ -1,0 +1,189 @@
+"""Private CPU store buffers and the two store-visibility disciplines.
+
+Section 4.2: "When writing data, CPUs are allowed to keep the changes
+private, as long as the changes do not break the memory ordering
+constraints of the architecture. [...] CPUs tend to keep modifications
+private and only advertise them when they run out of private buffer space
+or when they are forced to by the memory model."
+
+Two disciplines are modelled:
+
+``tso`` (Machine A, x86)
+    Stores start their visibility round trip as soon as they enter the
+    buffer, in program order but pipelined.  A fence usually finds them
+    already visible — which is why the paper expects "little gain" from
+    demotion on Machine A (Section 6.2.3).
+
+``weak`` (Machine B, ARM)
+    Stores park in the buffer.  Visibility round trips start only at a
+    fence/atomic, at a *demote* pre-store, or when the buffer overflows —
+    so a fence right after a write eats the whole round trip, and an
+    early demote overlaps it with subsequent work (Figure 4).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StoreBufferStats", "StoreBuffer", "MEMORY_MODELS"]
+
+MEMORY_MODELS = ("tso", "weak")
+
+#: Callback computing one store's visibility latency at the moment its
+#: round trip starts: ``(line) -> cycles``.  Provided by the CPU, which
+#: knows the cache state and the device.
+VisibilityFn = Callable[[int], int]
+
+
+@dataclass
+class StoreBufferStats:
+    stores_buffered: int = 0
+    coalesced: int = 0
+    demotes_started: int = 0
+    overflow_drains: int = 0
+    fence_drains: int = 0
+    #: Total cycles some fence/atomic spent waiting for visibility.
+    fence_stall_cycles: float = 0.0
+
+
+class _Pending:
+    """One buffered store (per cache line, coalesced)."""
+
+    __slots__ = ("line", "issue_time", "visible_time")
+
+    def __init__(self, line: int, issue_time: float) -> None:
+        self.line = line
+        self.issue_time = issue_time
+        #: None while parked; else the absolute cycle it becomes visible.
+        self.visible_time: Optional[float] = None
+
+
+class StoreBuffer:
+    """Bounded per-core buffer of not-yet-globally-visible stores."""
+
+    def __init__(self, model: str, capacity: int = 56) -> None:
+        if model not in MEMORY_MODELS:
+            raise ConfigurationError(f"memory model must be one of {MEMORY_MODELS}, got {model!r}")
+        if capacity <= 0:
+            raise ConfigurationError(f"store buffer capacity must be positive, got {capacity}")
+        self.model = model
+        self.capacity = capacity
+        self._pending: "OrderedDict[int, _Pending]" = OrderedDict()
+        #: Visibility pipeline horizon: round trips retire in order.
+        self._pipeline_tail = 0.0
+        self.stats = StoreBufferStats()
+
+    # -- queries -----------------------------------------------------------
+
+    def contains(self, line: int) -> bool:
+        """Store-to-load forwarding check."""
+        return line in self._pending
+
+    def occupancy(self) -> int:
+        return len(self._pending)
+
+    def pending_lines(self) -> List[int]:
+        return list(self._pending)
+
+    # -- the write path ------------------------------------------------------
+
+    def write(self, line: int, now: float, visibility: VisibilityFn) -> float:
+        """Buffer a store to ``line``; returns the stall, in cycles.
+
+        Coalesces with an already-buffered store to the same line.  On
+        overflow the oldest entry is forced visible and the core stalls
+        until a slot frees (the "runs out of private buffer space" case).
+        """
+        self.stats.stores_buffered += 1
+        self._prune(now)
+        existing = self._pending.get(line)
+        if existing is not None:
+            self.stats.coalesced += 1
+            self._pending.move_to_end(line)
+            return 0.0
+        stall = 0.0
+        if len(self._pending) >= self.capacity:
+            oldest = next(iter(self._pending.values()))
+            self._start_visibility(oldest, now, visibility)
+            assert oldest.visible_time is not None
+            stall = max(0.0, oldest.visible_time - now)
+            del self._pending[oldest.line]
+            self.stats.overflow_drains += 1
+        entry = _Pending(line, now + stall)
+        self._pending[line] = entry
+        if self.model == "tso":
+            # TSO: the round trip starts immediately, pipelined in order.
+            self._start_visibility(entry, now + stall, visibility)
+        return stall
+
+    def _prune(self, now: float) -> None:
+        """Retire front entries whose visibility round trip has finished.
+
+        Buffer slots free in FIFO order as stores become globally
+        visible; without pruning, a fence-free TSO program would pin its
+        first ``capacity`` lines in the buffer forever.
+        """
+        while self._pending:
+            oldest = next(iter(self._pending.values()))
+            if oldest.visible_time is None or oldest.visible_time > now:
+                break
+            del self._pending[oldest.line]
+
+    def _start_visibility(self, entry: _Pending, now: float, visibility: VisibilityFn) -> None:
+        if entry.visible_time is not None:
+            return
+        latency = visibility(entry.line)
+        # Round trips pipeline but retire in program order: a store may
+        # not become visible before its predecessors.
+        entry.visible_time = max(now + latency, self._pipeline_tail)
+        self._pipeline_tail = entry.visible_time
+
+    # -- pre-store and fence paths -------------------------------------------
+
+    def demote(self, line: int, now: float, visibility: VisibilityFn) -> bool:
+        """Start the visibility round trip for ``line`` now (non-blocking).
+
+        This is the store-buffer half of a *demote* pre-store: the write
+        is pushed towards a globally visible cache level in the
+        background.  Returns True if a parked store was found.
+        """
+        entry = self._pending.get(line)
+        if entry is None or entry.visible_time is not None:
+            return False
+        self._start_visibility(entry, now, visibility)
+        self.stats.demotes_started += 1
+        return True
+
+    def demote_all(self, now: float, visibility: VisibilityFn) -> int:
+        """Demote every parked store; returns how many started."""
+        started = 0
+        for entry in self._pending.values():
+            if entry.visible_time is None:
+                self._start_visibility(entry, now, visibility)
+                started += 1
+        return started
+
+    def drain(self, now: float, visibility: VisibilityFn) -> float:
+        """Fence: make everything visible; returns the completion time.
+
+        Parked entries start their round trips at ``now`` (pipelined);
+        the fence completes when the youngest entry is visible.
+        """
+        self.stats.fence_drains += 1
+        done = float(now)
+        for entry in self._pending.values():
+            if entry.visible_time is None:
+                self._start_visibility(entry, now, visibility)
+            assert entry.visible_time is not None
+            done = max(done, entry.visible_time)
+        self._pending.clear()
+        self.stats.fence_stall_cycles += done - now
+        return done
+
+    def evict_line(self, line: int) -> None:
+        """Forget a pending store (its line left the hierarchy)."""
+        self._pending.pop(line, None)

@@ -1,0 +1,19 @@
+"""The evaluated applications (paper Table 2), ported to the simulator.
+
+Every workload implements :class:`repro.workloads.base.Workload`: it
+declares its patch sites and spawns thread bodies onto a
+:class:`~repro.workloads.memapi.Program`.  Experiments run each workload
+under several :class:`~repro.core.PatchConfig` variants and compare.
+"""
+
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.memapi import Allocator, Program, Region, ThreadCtx
+
+__all__ = [
+    "Allocator",
+    "Program",
+    "Region",
+    "ThreadCtx",
+    "Workload",
+    "WorkloadResult",
+]

@@ -1,0 +1,23 @@
+"""Key-value stores and the YCSB workload generator (Sections 7.2.3, 7.3.1).
+
+Two stores, as in the paper: a CLHT-like lock-based hash table and a
+Masstree-like B+-tree with optimistic version validation.  Both are
+*functional* (they really store and retrieve values — tests compare them
+against a dict) while emitting the simulator events of their memory
+layout: bucket/node accesses, value crafting, lock atomics, version
+fences.
+"""
+
+from repro.workloads.kv.clht import CLHTStore, CLHTWorkload
+from repro.workloads.kv.masstree import MasstreeStore, MasstreeWorkload
+from repro.workloads.kv.ycsb import YCSB_MIXES, YCSBSpec, ZipfianGenerator
+
+__all__ = [
+    "CLHTStore",
+    "CLHTWorkload",
+    "MasstreeStore",
+    "MasstreeWorkload",
+    "YCSB_MIXES",
+    "YCSBSpec",
+    "ZipfianGenerator",
+]

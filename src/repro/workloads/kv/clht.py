@@ -1,0 +1,245 @@
+"""A CLHT-like cache-line hash table (paper refs. [16], Sections 7.2.3/7.3.1).
+
+CLHT's defining trait is that each bucket is exactly one cache line
+holding a lock word plus a few key/value-pointer pairs, so an operation
+touches one line plus the value.  PUTs lock the bucket with an atomic
+(fence semantics — "the atomic operations used in the lock have a fence
+semantics and force the CPU to make the crafted value visible to all the
+cores", Section 7.3.1), which is why crafting values right before the
+lock is the pattern DirtBuster flags.
+
+The store is functional: it maintains a Python-side shadow so tests can
+check dict semantics, while every structural access emits simulator
+events matching the memory layout (bucket lines, overflow chains, value
+slots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
+from repro.errors import WorkloadError
+from repro.sim.event import Event
+from repro.workloads.base import Workload
+from repro.workloads.kv.values import ValuePool, craft_value
+from repro.workloads.kv.ycsb import OP_INSERT, OP_READ, OP_UPDATE, YCSBSpec
+from repro.workloads.memapi import Allocator, Program, Region, ThreadCtx
+
+__all__ = ["CLHTStore", "CLHTWorkload"]
+
+#: Key/value-pointer pairs per bucket (CLHT uses 3 on 64 B lines).
+SLOTS_PER_BUCKET = 3
+#: Multiplicative hash constant (Knuth).
+_HASH_MULT = 2654435761
+
+
+class _Bucket:
+    """Shadow state of one bucket: keys, slots, overflow link."""
+
+    __slots__ = ("base", "entries", "overflow")
+
+    def __init__(self, base: int) -> None:
+        self.base = base
+        #: key -> value slot, at most SLOTS_PER_BUCKET entries.
+        self.entries: Dict[int, int] = {}
+        self.overflow: Optional["_Bucket"] = None
+
+
+class CLHTStore:
+    """The hash table: simulated layout + functional shadow."""
+
+    def __init__(
+        self,
+        allocator: Allocator,
+        num_buckets: int,
+        value_pool: ValuePool,
+        line_size: int,
+        max_overflow: int = 1024,
+    ) -> None:
+        if num_buckets <= 0:
+            raise WorkloadError("CLHT needs at least one bucket")
+        self.line_size = line_size
+        self.bucket_size = line_size  # one bucket per cache line
+        self.num_buckets = num_buckets
+        self.values = value_pool
+        self._table: Region = allocator.alloc(num_buckets * self.bucket_size, label="clht_table")
+        self._overflow_pool: Region = allocator.alloc(
+            max_overflow * self.bucket_size, label="clht_overflow"
+        )
+        self._overflow_used = 0
+        self._max_overflow = max_overflow
+        self._buckets: List[_Bucket] = [
+            _Bucket(self._table.addr(i * self.bucket_size)) for i in range(num_buckets)
+        ]
+        #: Functional shadow: key -> value slot.
+        self.shadow: Dict[int, int] = {}
+
+    # -- layout helpers -----------------------------------------------------
+
+    def _hash(self, key: int) -> int:
+        return (key * _HASH_MULT) % self.num_buckets
+
+    def _alloc_overflow(self) -> _Bucket:
+        if self._overflow_used >= self._max_overflow:
+            raise WorkloadError("CLHT overflow pool exhausted; grow num_buckets")
+        base = self._overflow_pool.addr(self._overflow_used * self.bucket_size)
+        self._overflow_used += 1
+        return _Bucket(base)
+
+    # -- eventless preload ------------------------------------------------------
+
+    def preload(self, key: int, slot: int) -> None:
+        """Install a key without emitting events (the YCSB load phase,
+        which the paper excludes from measurement)."""
+        bucket = self._buckets[self._hash(key)]
+        while True:
+            if key in bucket.entries or len(bucket.entries) < SLOTS_PER_BUCKET:
+                old = bucket.entries.get(key)
+                if old is not None and old != slot:
+                    self.values.free(old)
+                bucket.entries[key] = slot
+                self.shadow[key] = slot
+                return
+            if bucket.overflow is None:
+                bucket.overflow = self._alloc_overflow()
+            bucket = bucket.overflow
+
+    # -- operations (event generators) ---------------------------------------------
+
+    def get(self, t: ThreadCtx, key: int) -> Iterator[Event]:
+        """GET: walk the bucket chain, then read the value."""
+        with t.function("clht_get", file="clht.c", line=143):
+            bucket = self._buckets[self._hash(key)]
+            while bucket is not None:
+                yield t.read(bucket.base, self.bucket_size)
+                yield t.compute(2 * SLOTS_PER_BUCKET)  # key comparisons
+                if key in bucket.entries:
+                    slot = bucket.entries[key]
+                    yield t.read(self.values.addr(slot), self.values.value_size)
+                    return
+                bucket = bucket.overflow
+
+    def put(self, t: ThreadCtx, key: int, mode: PrestoreMode) -> Iterator[Event]:
+        """PUT: craft the value, lock the bucket, publish, unlock.
+
+        This is Listing 6: the pre-store (or NT crafting) happens before
+        ``clht_put`` takes the bucket lock.
+        """
+        slot = self.values.alloc()
+        yield from craft_value(t, self.values, slot, mode)
+        with t.function("clht_put", file="clht.c", line=88):
+            # Walk the bucket chain first (optimistic read, as CLHT does)
+            # — this is the window during which a pre-started visibility
+            # round trip for the crafted value overlaps useful work.
+            bucket = self._buckets[self._hash(key)]
+            yield t.compute(8)  # hash the key
+            lock_addr = bucket.base  # the lock word heads the bucket line
+            yield t.read(bucket.base, self.bucket_size)
+            yield t.compute(2 * SLOTS_PER_BUCKET)
+            yield t.atomic(lock_addr, 8)  # lock (fence semantics)
+            while True:
+                yield t.read(bucket.base, self.bucket_size)
+                yield t.compute(2 * SLOTS_PER_BUCKET)
+                if key in bucket.entries or len(bucket.entries) < SLOTS_PER_BUCKET:
+                    old = bucket.entries.get(key)
+                    if old is not None:
+                        self.values.free(old)
+                    bucket.entries[key] = slot
+                    self.shadow[key] = slot
+                    # Store the key and the value pointer into the line.
+                    yield t.write(bucket.base + 8, 8)
+                    yield t.write(bucket.base + 8 + 8 * SLOTS_PER_BUCKET, 8)
+                    break
+                if bucket.overflow is None:
+                    bucket.overflow = self._alloc_overflow()
+                    # Link the new overflow bucket.
+                    yield t.write(bucket.base + self.bucket_size - 8, 8)
+                bucket = bucket.overflow
+            yield t.atomic(lock_addr, 8)  # unlock
+
+
+class CLHTWorkload(Workload):
+    """YCSB over CLHT (Figures 10, 12, 13)."""
+
+    name = "clht"
+    default_threads = 4
+
+    SITE = PatchSite(
+        name="clht.craft_value",
+        function="craft_value",
+        file="ycsb.c",
+        line=12,
+        description="the crafted PUT value (Listing 6)",
+    )
+
+    def __init__(
+        self,
+        spec: Optional[YCSBSpec] = None,
+        threads: int = 4,
+        load_factor: float = 0.66,
+        op_overhead_instructions: int = 600,
+    ) -> None:
+        self.spec = spec or YCSBSpec()
+        if threads <= 0:
+            raise WorkloadError("threads must be positive")
+        self.threads = threads
+        self.load_factor = load_factor
+        #: Client-side work per request (YCSB driver, request parsing,
+        #: response handling) — roughly what a real benchmark client
+        #: executes between store operations.
+        self.op_overhead_instructions = op_overhead_instructions
+
+    def patch_sites(self) -> Sequence[PatchSite]:
+        return (self.SITE,)
+
+    def _build_store(self, program: Program) -> CLHTStore:
+        spec = self.spec
+        max_inserts = spec.operations  # upper bound (mix D inserts)
+        pool = ValuePool(
+            program.allocator,
+            slots=spec.num_keys + max_inserts + 8,
+            value_size=spec.value_size,
+        )
+        num_buckets = max(16, int(spec.num_keys / (SLOTS_PER_BUCKET * self.load_factor)))
+        store = CLHTStore(
+            program.allocator,
+            num_buckets=num_buckets,
+            value_pool=pool,
+            line_size=program.machine.line_size,
+            max_overflow=max(64, spec.num_keys // 4),
+        )
+        for key in range(spec.num_keys):
+            store.preload(key, pool.alloc())
+        return store
+
+    def spawn(self, program: Program, patches: PatchConfig) -> None:
+        store = self._build_store(program)
+        mode = patches.mode(self.SITE.name)
+        per_thread = max(1, self.spec.operations // self.threads)
+        for i in range(self.threads):
+            program.spawn(self._client, program, store, mode, per_thread, i)
+
+    def _client(
+        self,
+        t: ThreadCtx,
+        program: Program,
+        store: CLHTStore,
+        mode: PrestoreMode,
+        operations: int,
+        client_id: int,
+    ) -> Iterator[Event]:
+        stream = self.spec.operation_stream(
+            t.rng,
+            operations=operations,
+            insert_start=self.spec.num_keys + client_id,
+            insert_stride=self.threads,
+        )
+        for op, key in stream:
+            if op == OP_READ:
+                yield from store.get(t, key)
+            else:  # update and insert both go through put
+                yield from store.put(t, key, mode)
+            yield t.compute(self.op_overhead_instructions)
+            program.add_work(1)

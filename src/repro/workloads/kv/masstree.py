@@ -1,0 +1,290 @@
+"""A Masstree-like B+-tree key-value store (paper ref. [31]).
+
+Masstree's paper-relevant traits (Section 7.3.1, Listing 7):
+
+* every node carries a **version word**; readers read the version, fence,
+  read the node, fence, and re-read the version to detect concurrent
+  changes — those fences are mandatory for correctness and stall the
+  pipeline if crafted values have not been made visible yet;
+* writers lock the node with an atomic, update, bump the version, unlock.
+
+The implementation is a functional B+-tree (tests compare it against a
+dict) whose structural accesses emit simulator events matching its memory
+layout: 256 B nodes with a version word, key area, and pointer area,
+allocated from a node pool in simulated memory.  Values live in the
+shared :class:`~repro.workloads.kv.values.ValuePool` and are crafted
+under the patchable ``craft_value`` label, exactly like CLHT.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
+from repro.errors import WorkloadError
+from repro.sim.event import Event
+from repro.workloads.base import Workload
+from repro.workloads.kv.values import ValuePool, craft_value
+from repro.workloads.kv.ycsb import OP_READ, YCSBSpec
+from repro.workloads.memapi import Allocator, Program, Region, ThreadCtx
+
+__all__ = ["MasstreeStore", "MasstreeWorkload", "FANOUT"]
+
+#: Maximum keys per node.
+FANOUT = 14
+#: Simulated node footprint: version+count header, keys, pointers.
+NODE_SIZE = 256
+_HDR = 16
+
+
+class _Node:
+    __slots__ = ("base", "keys", "children", "values", "leaf")
+
+    def __init__(self, base: int, leaf: bool) -> None:
+        self.base = base
+        self.leaf = leaf
+        self.keys: List[int] = []
+        #: Internal nodes: child nodes (len(keys) + 1 of them).
+        self.children: List["_Node"] = []
+        #: Leaves: value slots, parallel to keys.
+        self.values: List[int] = []
+
+    @property
+    def key_area(self) -> Tuple[int, int]:
+        """(addr, size) of the key array."""
+        return (self.base + _HDR, 8 * FANOUT)
+
+    @property
+    def version_addr(self) -> int:
+        return self.base
+
+
+class MasstreeStore:
+    """The tree: simulated layout + functional shadow."""
+
+    def __init__(self, allocator: Allocator, value_pool: ValuePool, capacity_nodes: int) -> None:
+        if capacity_nodes <= 0:
+            raise WorkloadError("masstree needs a positive node capacity")
+        self.values = value_pool
+        self._pool: Region = allocator.alloc(capacity_nodes * NODE_SIZE, label="masstree_nodes")
+        self._capacity = capacity_nodes
+        self._used = 0
+        self.root = self._new_node(leaf=True)
+        self.shadow: Dict[int, int] = {}
+
+    # -- structure (no events) ---------------------------------------------
+
+    def _new_node(self, leaf: bool) -> _Node:
+        if self._used >= self._capacity:
+            raise WorkloadError("masstree node pool exhausted; grow capacity_nodes")
+        node = _Node(self._pool.addr(self._used * NODE_SIZE), leaf)
+        self._used += 1
+        return node
+
+    def _path_to(self, key: int) -> List[_Node]:
+        """Root-to-leaf path for ``key``."""
+        path = [self.root]
+        node = self.root
+        while not node.leaf:
+            i = bisect.bisect_right(node.keys, key)
+            node = node.children[i]
+            path.append(node)
+        return path
+
+    def _split(self, path: List[_Node]) -> List[Tuple[_Node, _Node]]:
+        """Split overfull nodes along ``path``; returns (old, new) pairs."""
+        splits: List[Tuple[_Node, _Node]] = []
+        for depth in range(len(path) - 1, -1, -1):
+            node = path[depth]
+            if len(node.keys) <= FANOUT:
+                break
+            mid = len(node.keys) // 2
+            sibling = self._new_node(leaf=node.leaf)
+            if node.leaf:
+                sep = node.keys[mid]
+                sibling.keys = node.keys[mid:]
+                sibling.values = node.values[mid:]
+                node.keys = node.keys[:mid]
+                node.values = node.values[:mid]
+            else:
+                sep = node.keys[mid]
+                sibling.keys = node.keys[mid + 1 :]
+                sibling.children = node.children[mid + 1 :]
+                node.keys = node.keys[:mid]
+                node.children = node.children[: mid + 1]
+            splits.append((node, sibling))
+            if depth == 0:
+                new_root = self._new_node(leaf=False)
+                new_root.keys = [sep]
+                new_root.children = [node, sibling]
+                self.root = new_root
+                splits.append((new_root, new_root))
+            else:
+                parent = path[depth - 1]
+                i = bisect.bisect_right(parent.keys, sep)
+                parent.keys.insert(i, sep)
+                parent.children.insert(i + 1, sibling)
+        return splits
+
+    def _leaf_insert(self, leaf: _Node, key: int, slot: int) -> Optional[int]:
+        """Insert/replace in a leaf; returns the replaced slot, if any."""
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            old = leaf.values[i]
+            leaf.values[i] = slot
+            return old
+        leaf.keys.insert(i, key)
+        leaf.values.insert(i, slot)
+        return None
+
+    def lookup(self, key: int) -> Optional[int]:
+        """Pure lookup (no events): the value slot, or None."""
+        leaf = self._path_to(key)[-1]
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            return leaf.values[i]
+        return None
+
+    def preload(self, key: int, slot: int) -> None:
+        """Eventless insert (the excluded-from-measurement load phase)."""
+        path = self._path_to(key)
+        old = self._leaf_insert(path[-1], key, slot)
+        if old is not None and old != slot:
+            self.values.free(old)
+        self._split(path)
+        self.shadow[key] = slot
+
+    def depth(self) -> int:
+        node, d = self.root, 1
+        while not node.leaf:
+            node = node.children[0]
+            d += 1
+        return d
+
+    # -- events for one node visit (Listing 7's protocol) -----------------------
+
+    def _read_node(self, t: ThreadCtx, node: _Node) -> Iterator[Event]:
+        # Listing 7's fences: these order the version read against the
+        # node reads — acquire (load) fences on ARM, which do not drain
+        # the store buffer.  The crafted value's visibility is forced by
+        # the leaf lock's atomic.
+        yield t.read(node.version_addr, 8)  # v = node->readVersion()
+        yield t.fence(scope="load")
+        addr, size = node.key_area
+        yield from t.read_block(addr, size)
+        yield t.compute(4)  # binary search
+        yield t.fence(scope="load")
+        yield t.read(node.version_addr, 8)  # node->versionChanged(v)?
+
+    # -- operations ---------------------------------------------------------------
+
+    def get(self, t: ThreadCtx, key: int) -> Iterator[Event]:
+        with t.function("masstree_get", file="masstree.cc", line=412):
+            node = self.root
+            while True:
+                yield from self._read_node(t, node)
+                if node.leaf:
+                    break
+                node = node.children[bisect.bisect_right(node.keys, key)]
+            i = bisect.bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                slot = node.values[i]
+                yield t.read(self.values.addr(slot), self.values.value_size)
+
+    def put(self, t: ThreadCtx, key: int, mode: PrestoreMode) -> Iterator[Event]:
+        """Craft the value, then insert under Listing 7's protocol."""
+        slot = self.values.alloc()
+        yield from craft_value(t, self.values, slot, mode)
+        with t.function("masstree_put", file="masstree.cc", line=534):
+            path = self._path_to(key)
+            for node in path:
+                yield from self._read_node(t, node)
+            leaf = path[-1]
+            yield t.atomic(leaf.version_addr, 8)  # lock the leaf
+            old = self._leaf_insert(leaf, key, slot)
+            if old is not None and old != slot:
+                self.values.free(old)
+            self.shadow[key] = slot
+            yield t.write(leaf.base + _HDR, 8)  # the key
+            yield t.write(leaf.base + _HDR + 8 * FANOUT, 8)  # the value pointer
+            for old_node, new_node in self._split(path):
+                # Splits copy half the node: sequential reads + writes.
+                addr, size = old_node.key_area
+                yield from t.read_block(addr, size // 2)
+                new_addr, new_size = new_node.key_area
+                yield from t.write_block(new_addr, new_size // 2)
+            yield t.write(leaf.version_addr, 8)  # bump version
+            yield t.atomic(leaf.version_addr, 8)  # unlock
+
+
+class MasstreeWorkload(Workload):
+    """YCSB over Masstree (Figures 11, 14)."""
+
+    name = "masstree"
+    default_threads = 4
+
+    SITE = PatchSite(
+        name="masstree.craft_value",
+        function="craft_value",
+        file="ycsb.c",
+        line=12,
+        description="the crafted PUT value inserted under Listing 7's fences",
+    )
+
+    def __init__(
+        self,
+        spec: Optional[YCSBSpec] = None,
+        threads: int = 4,
+        op_overhead_instructions: int = 600,
+    ) -> None:
+        self.spec = spec or YCSBSpec()
+        if threads <= 0:
+            raise WorkloadError("threads must be positive")
+        self.threads = threads
+        #: Client-side work per request (YCSB driver, request parsing,
+        #: response handling).
+        self.op_overhead_instructions = op_overhead_instructions
+
+    def patch_sites(self) -> Sequence[PatchSite]:
+        return (self.SITE,)
+
+    def _build_store(self, program: Program) -> MasstreeStore:
+        spec = self.spec
+        max_keys = spec.num_keys + spec.operations + 8
+        pool = ValuePool(program.allocator, slots=max_keys, value_size=spec.value_size)
+        capacity_nodes = max(64, 4 * max_keys // FANOUT + 16)
+        store = MasstreeStore(program.allocator, pool, capacity_nodes=capacity_nodes)
+        for key in range(spec.num_keys):
+            store.preload(key, pool.alloc())
+        return store
+
+    def spawn(self, program: Program, patches: PatchConfig) -> None:
+        store = self._build_store(program)
+        mode = patches.mode(self.SITE.name)
+        per_thread = max(1, self.spec.operations // self.threads)
+        for i in range(self.threads):
+            program.spawn(self._client, program, store, mode, per_thread, i)
+
+    def _client(
+        self,
+        t: ThreadCtx,
+        program: Program,
+        store: MasstreeStore,
+        mode: PrestoreMode,
+        operations: int,
+        client_id: int,
+    ) -> Iterator[Event]:
+        stream = self.spec.operation_stream(
+            t.rng,
+            operations=operations,
+            insert_start=self.spec.num_keys + client_id,
+            insert_stride=self.threads,
+        )
+        for op, key in stream:
+            if op == OP_READ:
+                yield from store.get(t, key)
+            else:
+                yield from store.put(t, key, mode)
+            yield t.compute(self.op_overhead_instructions)
+            program.add_work(1)

@@ -1,0 +1,95 @@
+"""Value storage shared by the key-value stores.
+
+Both CLHT and Masstree store values out of line: a PUT *crafts* the value
+into a freshly allocated slot (sequential writes — the pattern DirtBuster
+flags), then publishes a pointer to it under the index's synchronisation.
+:class:`ValuePool` manages the slots; :func:`craft_value` emits the
+crafting events under the patchable ``craft_value`` function label, which
+is where the paper's Listing 6 one-line patch goes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from repro.core.prestore import PrestoreMode
+from repro.errors import WorkloadError
+from repro.sim.event import Event
+from repro.workloads.memapi import Allocator, Region, ThreadCtx
+
+__all__ = ["ValuePool", "craft_value"]
+
+
+class ValuePool:
+    """A pool of fixed-size value slots in simulated memory.
+
+    Freed slots are recycled first (like a size-class allocator), so a
+    long run keeps a bounded footprint; the pool refuses to overflow
+    rather than silently aliasing live values.
+
+    Two deliberate departures from a textbook bump allocator, both
+    emulating the paper's scale (a 100 GB value heap) at our pool sizes:
+
+    * fresh slots are handed out in a *shuffled* order — consecutive PUTs
+      on a huge fragmented heap land at scattered addresses, not in one
+      ascending stream (an ascending stream would make crafted values
+      accidentally sequential at the device and hide write
+      amplification);
+    * fresh slots are preferred over recycled ones, and recycling is FIFO
+      — on a 100 GB heap a freed slot is stone cold by the time it is
+      reused, so handing the next PUT a just-freed (still cached, still
+      dirty) slot would hide the write traffic the paper measures.
+    """
+
+    def __init__(
+        self, allocator: Allocator, slots: int, value_size: int, seed: int = 7
+    ) -> None:
+        if slots <= 0 or value_size <= 0:
+            raise WorkloadError("value pool needs positive slots and value size")
+        self.value_size = value_size
+        self.slots = slots
+        self.region: Region = allocator.alloc(slots * value_size, label="value_pool")
+        self._free: Deque[int] = deque()
+        self._order = list(range(slots))
+        random.Random(seed).shuffle(self._order)
+        self._next = 0
+
+    def alloc(self) -> int:
+        """Allocate a slot index (fresh first, then FIFO recycling)."""
+        if self._next < self.slots:
+            slot = self._order[self._next]
+            self._next += 1
+            return slot
+        if self._free:
+            return self._free.popleft()
+        raise WorkloadError(
+            f"value pool exhausted ({self.slots} slots); size it to "
+            "live keys + expected inserts"
+        )
+
+    def free(self, slot: int) -> None:
+        self._free.append(slot)
+
+    def addr(self, slot: int) -> int:
+        """Base address of a slot's value bytes."""
+        if not 0 <= slot < self.slots:
+            raise WorkloadError(f"slot {slot} out of range 0..{self.slots - 1}")
+        return self.region.addr(slot * self.value_size)
+
+
+def craft_value(
+    t: ThreadCtx, pool: ValuePool, slot: int, mode: PrestoreMode
+) -> Iterator[Event]:
+    """Write a value into ``slot`` under the ``craft_value`` label.
+
+    ``mode`` selects the paper's variants: baseline stores, stores +
+    clean/demote pre-store, or non-temporal stores (skip).
+    """
+    addr = pool.addr(slot)
+    nontemporal = mode is PrestoreMode.SKIP
+    with t.function("craft_value", file="ycsb.c", line=12):
+        yield from t.write_block(addr, pool.value_size, nontemporal=nontemporal)
+        if mode.op is not None:
+            yield t.prestore(addr, pool.value_size, mode.op)

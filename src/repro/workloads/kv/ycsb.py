@@ -1,0 +1,140 @@
+"""YCSB workload generation: key distributions and operation mixes.
+
+Implements the pieces of the Yahoo! Cloud Serving Benchmark the paper
+uses (Sections 7.2.3 and 7.3.1): the zipfian request-key distribution
+(Gray et al.'s incremental algorithm, as in the YCSB reference
+implementation) and the standard A-D operation mixes:
+
+* **A** — update heavy: 50% reads / 50% updates (the mix where the paper
+  finds pre-store opportunities);
+* **B** — read mostly: 95% reads / 5% updates;
+* **C** — read only;
+* **D** — read latest: 95% reads (skewed to recent keys) / 5% inserts.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import WorkloadError
+
+__all__ = ["ZipfianGenerator", "YCSBSpec", "YCSB_MIXES", "OP_READ", "OP_UPDATE", "OP_INSERT"]
+
+OP_READ = "read"
+OP_UPDATE = "update"
+OP_INSERT = "insert"
+
+#: mix name -> (read fraction, update fraction, insert fraction)
+YCSB_MIXES: Dict[str, Tuple[float, float, float]] = {
+    "A": (0.50, 0.50, 0.00),
+    "B": (0.95, 0.05, 0.00),
+    "C": (1.00, 0.00, 0.00),
+    "D": (0.95, 0.00, 0.05),
+}
+
+
+class ZipfianGenerator:
+    """Zipf-distributed integers in ``[0, n)`` (Gray et al.'s algorithm).
+
+    ``theta`` = 0.99 is the YCSB default.  The generator is exact (not a
+    rejection sampler) and O(1) per draw after an O(n)-ish zeta
+    precomputation, which is memoised per (n, theta).
+    """
+
+    _zeta_cache: Dict[Tuple[int, float], float] = {}
+
+    def __init__(self, n: int, theta: float = 0.99, rng: random.Random = None) -> None:
+        if n <= 0:
+            raise WorkloadError(f"zipfian range must be positive, got {n}")
+        if not 0.0 < theta < 1.0:
+            raise WorkloadError(f"zipfian theta must be in (0, 1), got {theta}")
+        self.n = n
+        self.theta = theta
+        self.rng = rng or random.Random(0)
+        self.zeta_n = self._zeta(n, theta)
+        self.zeta_2 = self._zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        # Gray et al.'s eta is undefined for n <= 2 (zeta_n == zeta_2);
+        # those draws are fully handled by the two head branches below.
+        if self.zeta_n > self.zeta_2:
+            self.eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (1.0 - self.zeta_2 / self.zeta_n)
+        else:
+            self.eta = 0.0
+
+    @classmethod
+    def _zeta(cls, n: int, theta: float) -> float:
+        key = (n, theta)
+        cached = cls._zeta_cache.get(key)
+        if cached is not None:
+            return cached
+        total = sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        cls._zeta_cache[key] = total
+        return total
+
+    def next(self) -> int:
+        u = self.rng.random()
+        uz = u * self.zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return min(self.n - 1, int(self.n * (self.eta * u - self.eta + 1.0) ** self.alpha))
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.next()
+
+
+@dataclass
+class YCSBSpec:
+    """One YCSB run configuration."""
+
+    mix: str = "A"
+    num_keys: int = 4096
+    operations: int = 4000
+    value_size: int = 1024
+    theta: float = 0.99
+    #: For mix D: the window of recent keys "read latest" draws from.
+    latest_window: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mix not in YCSB_MIXES:
+            raise WorkloadError(f"unknown YCSB mix {self.mix!r}; choose from {sorted(YCSB_MIXES)}")
+        if min(self.num_keys, self.operations, self.value_size) <= 0:
+            raise WorkloadError("YCSB parameters must be positive")
+
+    def operation_stream(
+        self,
+        rng: random.Random,
+        operations: int = None,
+        insert_start: int = None,
+        insert_stride: int = 1,
+    ) -> Iterator[Tuple[str, int]]:
+        """Yield (op, key) pairs for one client thread.
+
+        Concurrent clients pass disjoint ``insert_start``/``insert_stride``
+        so inserted keys never collide (as YCSB's insert key chooser
+        guarantees per client).
+        """
+        read_frac, update_frac, insert_frac = YCSB_MIXES[self.mix]
+        zipf = ZipfianGenerator(self.num_keys, theta=self.theta, rng=rng)
+        next_insert_key = self.num_keys if insert_start is None else insert_start
+        if operations is None:
+            operations = self.operations
+        for _ in range(operations):
+            draw = rng.random()
+            if draw < read_frac:
+                if self.mix == "D":
+                    # Read-latest: prefer recently inserted keys.
+                    back = min(zipf.next(), self.latest_window, next_insert_key - 1)
+                    yield OP_READ, max(0, next_insert_key - 1 - back)
+                else:
+                    yield OP_READ, zipf.next()
+            elif draw < read_frac + update_frac:
+                yield OP_UPDATE, zipf.next()
+            else:
+                yield OP_INSERT, next_insert_key
+                next_insert_key += insert_stride

@@ -1,0 +1,282 @@
+"""The workload programming interface.
+
+Workloads are written as ordinary Python generator functions that receive
+a :class:`ThreadCtx` and ``yield`` the events it builds::
+
+    def body(t: ThreadCtx):
+        buf = t.alloc(4096, label="buf")
+        with t.function("fill", file="demo.c", line=10):
+            yield from t.write_block(buf, 4096)
+            yield t.prestore(buf, 4096, PrestoreOp.CLEAN)
+        yield t.fence()
+
+:class:`Program` binds one :class:`ThreadCtx` per thread to a machine
+core and drives the machine's time-ordered scheduler.  The allocator
+hands out disjoint aligned regions of the simulated address space, and
+:meth:`ThreadCtx.function` labels events with the (function, file, line)
+provenance DirtBuster reports.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Callable, Dict, Generator, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.prestore import PrestoreOp
+from repro.errors import AllocationError, ConfigurationError, WorkloadError
+from repro.sim.event import CodeSite, Event, EventKind, Mailbox, UNKNOWN_SITE
+from repro.sim.machine import Machine, MachineSpec, Tracer
+from repro.sim.stats import RunResult
+
+__all__ = ["Allocator", "Mailbox", "Region", "ThreadCtx", "Program", "ThreadBodyFn"]
+
+#: A workload thread: generator function taking its ThreadCtx.
+ThreadBodyFn = Callable[["ThreadCtx"], Iterator[Event]]
+
+#: Simulated address space: allocations start above the null page.
+_BASE_ADDRESS = 1 << 20
+_ADDRESS_LIMIT = 1 << 46
+
+
+class Region:
+    """A contiguous allocated range of simulated memory."""
+
+    __slots__ = ("base", "size", "label")
+
+    def __init__(self, base: int, size: int, label: str) -> None:
+        self.base = base
+        self.size = size
+        self.label = label
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def addr(self, offset: int) -> int:
+        """Byte address at ``offset``, bounds-checked."""
+        if not 0 <= offset < self.size:
+            raise AllocationError(
+                f"offset {offset} outside region {self.label!r} of size {self.size}"
+            )
+        return self.base + offset
+
+    def __contains__(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Region({self.label!r}, base={self.base:#x}, size={self.size})"
+
+
+class Allocator:
+    """Bump allocator over the simulated address space.
+
+    Allocations are padded to cache-line alignment so distinct objects
+    never share a line (as a real allocator's size classes ensure for the
+    object sizes these workloads use).
+    """
+
+    def __init__(self, line_size: int, base: int = _BASE_ADDRESS) -> None:
+        if line_size <= 0:
+            raise ConfigurationError("line size must be positive")
+        self.line_size = line_size
+        self._next = base
+        self.regions: List[Region] = []
+
+    def alloc(self, size: int, label: str = "anon", align: Optional[int] = None) -> Region:
+        """Allocate ``size`` bytes, aligned to ``align`` (default: line)."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        alignment = align or self.line_size
+        if alignment & (alignment - 1):
+            raise AllocationError(f"alignment must be a power of two, got {alignment}")
+        base = (self._next + alignment - 1) // alignment * alignment
+        if base + size > _ADDRESS_LIMIT:
+            raise AllocationError("simulated address space exhausted")
+        # Pad to line size so neighbouring allocations never false-share.
+        self._next = (base + size + self.line_size - 1) // self.line_size * self.line_size
+        region = Region(base, size, label)
+        self.regions.append(region)
+        return region
+
+    def region_of(self, address: int) -> Optional[Region]:
+        """The region containing ``address``, if any (linear scan)."""
+        for region in self.regions:
+            if address in region:
+                return region
+        return None
+
+
+class ThreadCtx:
+    """Event factory bound to one simulated thread.
+
+    All methods are cheap constructors — nothing executes until the
+    generated events are consumed by the machine scheduler, which is what
+    lets multiple thread bodies interleave by simulated time.
+    """
+
+    def __init__(self, tid: int, allocator: Allocator, line_size: int, seed: int) -> None:
+        self.tid = tid
+        self.allocator = allocator
+        self.line_size = line_size
+        self.rng = random.Random(seed)
+        self._site_stack: List[CodeSite] = []
+        self._site_cache: Dict[Tuple[str, str, int], CodeSite] = {}
+
+    # -- provenance ------------------------------------------------------------
+
+    @contextmanager
+    def function(self, name: str, file: str = "<workload>", line: int = 0) -> Iterator[None]:
+        """Label subsequently built events as coming from ``name``.
+
+        Nested uses build the callchain, innermost last — the shape perf
+        reports and DirtBuster groups by (Section 6.2.1).
+        """
+        key = (name, file, line)
+        site = self._site_cache.get(key)
+        if site is None:
+            site = CodeSite(function=name, file=file, line=line)
+            self._site_cache[key] = site
+        self._site_stack.append(site)
+        try:
+            yield
+        finally:
+            self._site_stack.pop()
+
+    @property
+    def current_site(self) -> CodeSite:
+        return self._site_stack[-1] if self._site_stack else UNKNOWN_SITE
+
+    def _provenance(self) -> Tuple[CodeSite, Tuple[CodeSite, ...]]:
+        if not self._site_stack:
+            return UNKNOWN_SITE, ()
+        return self._site_stack[-1], tuple(self._site_stack[:-1])
+
+    # -- allocation ---------------------------------------------------------------
+
+    def alloc(self, size: int, label: str = "anon", align: Optional[int] = None) -> Region:
+        return self.allocator.alloc(size, label=label, align=align)
+
+    # -- single events ---------------------------------------------------------------
+
+    def read(self, addr: int, size: int = 8) -> Event:
+        site, chain = self._provenance()
+        return Event(EventKind.READ, addr=addr, size=size, site=site, callchain=chain)
+
+    def write(self, addr: int, size: int = 8, nontemporal: bool = False) -> Event:
+        site, chain = self._provenance()
+        return Event(
+            EventKind.WRITE,
+            addr=addr,
+            size=size,
+            nontemporal=nontemporal,
+            site=site,
+            callchain=chain,
+        )
+
+    def compute(self, instructions: int = 1) -> Event:
+        site, chain = self._provenance()
+        return Event(EventKind.COMPUTE, size=instructions, site=site, callchain=chain)
+
+    def fence(self, scope: str = "full") -> Event:
+        """A memory fence; ``scope="load"`` is an acquire/read fence."""
+        site, chain = self._provenance()
+        return Event(EventKind.FENCE, fence_scope=scope, site=site, callchain=chain)
+
+    def atomic(self, addr: int, size: int = 8) -> Event:
+        site, chain = self._provenance()
+        return Event(EventKind.ATOMIC, addr=addr, size=size, site=site, callchain=chain)
+
+    def prestore(self, addr: int, size: int, op: PrestoreOp) -> Event:
+        site, chain = self._provenance()
+        return Event(EventKind.PRESTORE, addr=addr, size=size, op=op, site=site, callchain=chain)
+
+    def post(self, mailbox: Mailbox, key: object) -> Event:
+        """Publish a synchronisation timestamp (a partner's WAIT unblocks)."""
+        site, chain = self._provenance()
+        return Event(EventKind.POST, mailbox=mailbox, sync_key=key, site=site, callchain=chain)
+
+    def wait(self, mailbox: Mailbox, key: object) -> Event:
+        """Spin until ``key`` is posted; the clock advances to the post time."""
+        site, chain = self._provenance()
+        return Event(EventKind.WAIT, mailbox=mailbox, sync_key=key, site=site, callchain=chain)
+
+    # -- compound access helpers ---------------------------------------------------
+
+    def write_block(
+        self, addr: int, size: int, nontemporal: bool = False, chunk: Optional[int] = None
+    ) -> Iterator[Event]:
+        """Sequential stores covering ``[addr, addr + size)``.
+
+        Emits one store per ``chunk`` bytes (default: one per cache line),
+        the granularity real store instructions dirty lines at.
+        """
+        step = chunk or self.line_size
+        offset = 0
+        while offset < size:
+            length = min(step, size - offset)
+            yield self.write(addr + offset, length, nontemporal=nontemporal)
+            offset += length
+
+    def read_block(self, addr: int, size: int, chunk: Optional[int] = None) -> Iterator[Event]:
+        """Sequential loads covering ``[addr, addr + size)``."""
+        step = chunk or self.line_size
+        offset = 0
+        while offset < size:
+            length = min(step, size - offset)
+            yield self.read(addr + offset, length)
+            offset += length
+
+    def memcpy(self, dst: int, src: int, size: int) -> Iterator[Event]:
+        """Load-then-store copy at line granularity."""
+        step = self.line_size
+        offset = 0
+        while offset < size:
+            length = min(step, size - offset)
+            yield self.read(src + offset, length)
+            yield self.write(dst + offset, length)
+            offset += length
+
+    def memset(self, addr: int, size: int, nontemporal: bool = False) -> Iterator[Event]:
+        """Store-only fill (``memset``) at line granularity."""
+        return self.write_block(addr, size, nontemporal=nontemporal)
+
+
+class Program:
+    """Binds thread bodies to a machine and runs them to completion."""
+
+    def __init__(self, spec: MachineSpec, tracer: Optional[Tracer] = None, seed: int = 1234) -> None:
+        self.machine = Machine(spec, tracer=tracer)
+        self.allocator = Allocator(spec.line_size)
+        self._seed = seed
+        self._bodies: List[Iterator[Event]] = []
+        self._contexts: List[ThreadCtx] = []
+        self.work_items = 0
+
+    def spawn(self, body: ThreadBodyFn, *args: object, **kwargs: object) -> ThreadCtx:
+        """Register one thread running ``body(ctx, *args, **kwargs)``."""
+        if len(self._bodies) >= self.machine.spec.num_cores:
+            raise WorkloadError(
+                f"cannot spawn more threads than cores ({self.machine.spec.num_cores})"
+            )
+        ctx = ThreadCtx(
+            tid=len(self._bodies),
+            allocator=self.allocator,
+            line_size=self.machine.line_size,
+            seed=self._seed + 7919 * len(self._bodies),
+        )
+        self._contexts.append(ctx)
+        self._bodies.append(body(ctx, *args, **kwargs))
+        return ctx
+
+    def add_work(self, items: int = 1) -> None:
+        """Count completed application-level work (for throughput)."""
+        self.work_items += items
+
+    def run(self) -> RunResult:
+        """Run all spawned threads; returns the machine's statistics."""
+        if not self._bodies:
+            raise WorkloadError("spawn at least one thread before run()")
+        result = self.machine.run(self._bodies)
+        result.work_items = self.work_items
+        return result

@@ -1,0 +1,44 @@
+"""NAS Parallel Benchmarks ported as access-pattern kernels (§7.2.2).
+
+Loop-nest ports of the nine NPB codes.  The machine and DirtBuster only
+observe the memory event stream, so each port reproduces its kernel's
+array shapes, read stencils and write sweeps rather than the arithmetic
+(see DESIGN.md §1).  Table 2's classification: MG, FT, SP, UA and BT are
+write-intensive sequential writers; IS is write-intensive but scattered;
+LU, EP and CG spend <10 % of their accesses storing.
+"""
+
+from repro.workloads.nas.bt import BTWorkload
+from repro.workloads.nas.cg import CGWorkload
+from repro.workloads.nas.ep import EPWorkload
+from repro.workloads.nas.ft import FTWorkload
+from repro.workloads.nas.is_ import ISWorkload
+from repro.workloads.nas.lu import LUWorkload
+from repro.workloads.nas.mg import MGWorkload
+from repro.workloads.nas.sp import SPWorkload
+from repro.workloads.nas.ua import UAWorkload
+
+ALL_NAS = (
+    MGWorkload,
+    FTWorkload,
+    SPWorkload,
+    UAWorkload,
+    BTWorkload,
+    ISWorkload,
+    LUWorkload,
+    EPWorkload,
+    CGWorkload,
+)
+
+__all__ = [
+    "ALL_NAS",
+    "BTWorkload",
+    "CGWorkload",
+    "EPWorkload",
+    "FTWorkload",
+    "ISWorkload",
+    "LUWorkload",
+    "MGWorkload",
+    "SPWorkload",
+    "UAWorkload",
+]

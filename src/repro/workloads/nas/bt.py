@@ -1,0 +1,71 @@
+"""NPB BT: block tri-diagonal solver (§7.2.2).
+
+Like SP, BT's writes concentrate in sequential sweeps over big matrices;
+the paper patched it with a clean pre-store after the written rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
+from repro.sim.event import Event
+from repro.workloads.memapi import Program, ThreadCtx
+from repro.workloads.nas.common import Grid3D, NASWorkload
+
+__all__ = ["BTWorkload"]
+
+
+class BTWorkload(NASWorkload):
+    """Block-matrix assembly: sequential LHS block writes."""
+
+    name = "nas-bt"
+    DEFAULT_FLOPS = 1500
+
+    SITE = PatchSite(
+        name="bt.lhsinit",
+        function="lhsinit",
+        file="bt.f90",
+        line=201,
+        description="the sequentially written LHS blocks",
+    )
+
+    def patch_sites(self) -> Sequence[PatchSite]:
+        return (self.SITE,)
+
+    def spawn(self, program: Program, patches: PatchConfig) -> None:
+        n = self.grid
+        # BT's LHS holds three 5x5 block matrices per point (A, B, C):
+        # model as a much wider fastest dimension.
+        lhs = Grid3D(program.allocator, n * 15, n, n, "LHS")
+        u = Grid3D(program.allocator, n, n, n, "U")
+        mode = patches.mode(self.SITE.name)
+        for planes in self.plane_slices(n - 2):
+            program.spawn(self._body, program, lhs, u, planes, mode)
+
+    def _body(
+        self,
+        t: ThreadCtx,
+        program: Program,
+        lhs: Grid3D,
+        u: Grid3D,
+        planes: range,
+        mode: PrestoreMode,
+    ) -> Iterator[Event]:
+        for _ in range(self.iterations):
+            with t.function("lhsinit", file="bt.f90", line=201):
+                for i3 in planes:
+                    for i2 in range(1, lhs.n2 - 1):
+                        yield t.read(u.row_addr(i2, i3 + 1), u.row_bytes)
+                        yield t.read(u.row_addr(i2 - 1, i3 + 1), u.row_bytes)
+                        yield self.flops_row(t, u.n1)
+                        yield from t.write_block(lhs.row_addr(i2, i3 + 1), lhs.row_bytes)
+                        yield from self.maybe_prestore(
+                            t, mode, lhs.row_addr(i2, i3 + 1), lhs.row_bytes
+                        )
+            with t.function("matvec_sub", file="bt.f90", line=355):
+                for i3 in planes:
+                    for i2 in range(1, lhs.n2 - 1, 4):
+                        yield t.read(lhs.row_addr(i2, i3 + 1), lhs.row_bytes)
+                        yield self.flops_row(t, u.n1)
+            program.add_work(1)

@@ -1,0 +1,64 @@
+"""NPB CG: conjugate gradient with a random sparse matrix.
+
+The sparse matrix-vector product dominates: per output element it reads
+a row of values and column indices plus gathered vector entries, writing
+a single result element.  Table 2: not write-intensive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.prestore import PatchConfig
+from repro.sim.event import Event
+from repro.workloads.memapi import Program, Region, ThreadCtx
+from repro.workloads.nas.common import ELEM, NASWorkload
+
+__all__ = ["CGWorkload"]
+
+#: Non-zeros per matrix row.
+_ROW_NNZ = 12
+
+
+class CGWorkload(NASWorkload):
+    """Sparse mat-vec iterations: gather-heavy, one write per row."""
+
+    name = "nas-cg"
+
+    def spawn(self, program: Program, patches: PatchConfig) -> None:
+        rows = self.grid * self.grid
+        values = program.allocator.alloc(rows * _ROW_NNZ * ELEM, label="CG_values")
+        colidx = program.allocator.alloc(rows * _ROW_NNZ * 4, label="CG_colidx")
+        x = program.allocator.alloc(rows * ELEM, label="CG_x")
+        q = program.allocator.alloc(rows * ELEM, label="CG_q")
+        per = max(1, rows // self.threads)
+        for i in range(self.threads):
+            start = i * per
+            stop = rows if i == self.threads - 1 else min(rows, start + per)
+            if start < stop:
+                program.spawn(
+                    self._body, program, values, colidx, x, q, range(start, stop), rows
+                )
+
+    def _body(
+        self,
+        t: ThreadCtx,
+        program: Program,
+        values: Region,
+        colidx: Region,
+        x: Region,
+        q: Region,
+        rows: range,
+        total_rows: int,
+    ) -> Iterator[Event]:
+        for _ in range(self.iterations):
+            with t.function("sparse_matvec", file="cg.f90", line=556):
+                for row in rows:
+                    yield t.read(values.addr(row * _ROW_NNZ * ELEM), _ROW_NNZ * ELEM)
+                    yield t.read(colidx.addr(row * _ROW_NNZ * 4), _ROW_NNZ * 4)
+                    # Gather x entries at the (random) column indices.
+                    for _ in range(3):
+                        yield t.read(x.addr(t.rng.randrange(total_rows) * ELEM), ELEM)
+                    yield t.compute(2 * _ROW_NNZ)
+                    yield t.write(q.addr(row * ELEM), ELEM)
+            program.add_work(1)

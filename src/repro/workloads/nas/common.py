@@ -1,0 +1,108 @@
+"""Shared pieces of the NAS kernel ports."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
+from repro.errors import WorkloadError
+from repro.sim.event import Event
+from repro.workloads.base import Workload
+from repro.workloads.memapi import Program, Region, ThreadCtx
+
+__all__ = ["Grid3D", "NASWorkload", "ELEM"]
+
+#: Bytes per double-precision element.
+ELEM = 8
+
+
+class Grid3D:
+    """A Fortran-style 3-D array in simulated memory (i1 fastest).
+
+    ``mem`` is anything with an ``alloc(size, label=...) -> Region``
+    method — the program-wide allocator for arrays shared by all threads
+    (the OpenMP model NAS uses), or a :class:`ThreadCtx` for private
+    scratch.
+    """
+
+    def __init__(self, mem, n1: int, n2: int, n3: int, label: str) -> None:
+        if min(n1, n2, n3) <= 0:
+            raise WorkloadError(f"{label}: grid dimensions must be positive")
+        self.n1, self.n2, self.n3 = n1, n2, n3
+        self.region: Region = mem.alloc(n1 * n2 * n3 * ELEM, label=label)
+
+    @property
+    def bytes(self) -> int:
+        return self.region.size
+
+    def row_addr(self, i2: int, i3: int) -> int:
+        """Address of row ``(:, i2, i3)`` (a contiguous n1-vector)."""
+        return self.region.addr(ELEM * (self.n1 * (i2 + self.n2 * i3)))
+
+    @property
+    def row_bytes(self) -> int:
+        return self.n1 * ELEM
+
+    def addr(self, i1: int, i2: int, i3: int) -> int:
+        return self.region.addr(ELEM * (i1 + self.n1 * (i2 + self.n2 * i3)))
+
+    def planes(self) -> Iterator[Tuple[int, int]]:
+        """All (i2, i3) row coordinates, i2 fastest."""
+        for i3 in range(self.n3):
+            for i2 in range(self.n2):
+                yield (i2, i3)
+
+
+class NASWorkload(Workload):
+    """Base for NPB kernel ports: OpenMP-style plane partitioning."""
+
+    default_threads = 4
+    #: Arithmetic instructions per grid point.  Per-kernel defaults are
+    #: calibrated so the ports sit at a realistic compute/store balance
+    #: (NPB kernels run tens of flops per point; the block solvers many
+    #: more).
+    DEFAULT_FLOPS = 16
+
+    def __init__(
+        self,
+        grid: int = 48,
+        iterations: int = 2,
+        threads: int = 4,
+        flops_per_point: int = None,
+    ) -> None:
+        if grid <= 2 or iterations <= 0 or threads <= 0:
+            raise WorkloadError(f"{self.name}: parameters out of range")
+        if flops_per_point is None:
+            flops_per_point = type(self).DEFAULT_FLOPS
+        if flops_per_point <= 0:
+            raise WorkloadError(f"{self.name}: flops_per_point must be positive")
+        self.grid = grid
+        self.iterations = iterations
+        self.threads = threads
+        self.flops_per_point = flops_per_point
+
+    def flops_row(self, t: ThreadCtx, n1: int):
+        """One row's worth of kernel arithmetic."""
+        return t.compute(self.flops_per_point * n1)
+
+    def patch_sites(self) -> Sequence[PatchSite]:
+        return ()
+
+    def plane_slices(self, n3: int) -> List[range]:
+        """Split the outer (i3) loop across threads (OpenMP static)."""
+        per = max(1, n3 // self.threads)
+        slices = []
+        for i in range(self.threads):
+            start = i * per
+            stop = n3 if i == self.threads - 1 else min(n3, start + per)
+            if start < stop:
+                slices.append(range(start, stop))
+        return slices
+
+    @staticmethod
+    def maybe_prestore(
+        t: ThreadCtx, mode: PrestoreMode, addr: int, size: int
+    ) -> Iterator[Event]:
+        """Emit the configured pre-store after a row write (Listing 5)."""
+        if mode.op is not None:
+            yield t.prestore(addr, size, mode.op)

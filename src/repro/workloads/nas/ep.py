@@ -1,0 +1,40 @@
+"""NPB EP: embarrassingly parallel random-number kernel.
+
+Almost pure compute: batches of Gaussian pairs are generated and reduced
+into a ten-bin histogram.  Table 2: not write-intensive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.prestore import PatchConfig
+from repro.sim.event import Event
+from repro.workloads.memapi import Program, ThreadCtx
+from repro.workloads.nas.common import NASWorkload
+
+__all__ = ["EPWorkload"]
+
+
+class EPWorkload(NASWorkload):
+    """Batches of RNG compute with a tiny histogram reduction."""
+
+    name = "nas-ep"
+
+    def spawn(self, program: Program, patches: PatchConfig) -> None:
+        for _ in range(self.threads):
+            program.spawn(self._body, program)
+
+    def _body(self, t: ThreadCtx, program: Program) -> Iterator[Event]:
+        hist = t.alloc(10 * 8, label="EP_hist")
+        scratch = t.alloc(2 * self.grid * 8, label="EP_pairs")
+        batches = self.grid * self.iterations
+        for _ in range(batches):
+            with t.function("vranlc", file="ep.f90", line=181):
+                yield t.compute(40 * self.grid)  # the RNG chain
+                yield t.read(scratch.base, min(scratch.size, 512))
+            with t.function("ep_tally", file="ep.f90", line=230):
+                yield t.read(hist.base, 80)
+                yield t.compute(16)
+                yield t.write(hist.addr(8 * (self.grid % 10)), 8)
+            program.add_work(1)

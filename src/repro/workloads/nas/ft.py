@@ -1,0 +1,103 @@
+"""NPB FT: 3-D Fast Fourier Transform (§7.2.2 and §7.4.2).
+
+Two functions matter to the paper:
+
+* ``cffts1`` — "sequentially transfers results from a matrix Y1 to a
+  matrix XOUT": the pre-store candidate DirtBuster endorses;
+* ``fftz2`` — the butterfly kernel over a small scratch buffer that is
+  re-read and re-written every stage.  It *looks* like a sequential
+  writer to a human profiler, but cleaning it costs ~3x (§7.4.2):
+  DirtBuster's rewrite distance sees through it and declines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
+from repro.sim.event import Event
+from repro.workloads.memapi import Program, ThreadCtx
+from repro.workloads.nas.common import ELEM, Grid3D, NASWorkload
+
+__all__ = ["FTWorkload"]
+
+
+class FTWorkload(NASWorkload):
+    """cffts1 pencil sweeps + fftz2 butterfly stages."""
+
+    name = "nas-ft"
+    DEFAULT_FLOPS = 56
+
+    CFFTS1_SITE = PatchSite(
+        name="ft.cffts1",
+        function="cffts1",
+        file="ft.f90",
+        line=612,
+        description="the XOUT rows written from Y1",
+    )
+    FFTZ2_SITE = PatchSite(
+        name="ft.fftz2",
+        function="fftz2",
+        file="ft.f90",
+        line=688,
+        description="the hot butterfly scratch (manual-misuse target, §7.4.2)",
+    )
+
+    #: Butterfly stages per pencil (log2-ish of the pencil length).
+    STAGES = 6
+
+    @property
+    def scratch_bytes(self) -> int:
+        """fftz2's scratch: one complex pencil (16 B per point)."""
+        return max(256, self.grid * 16)
+
+    def patch_sites(self) -> Sequence[PatchSite]:
+        return (self.CFFTS1_SITE, self.FFTZ2_SITE)
+
+    def spawn(self, program: Program, patches: PatchConfig) -> None:
+        n = self.grid
+        y1 = Grid3D(program.allocator, n, n, n, "Y1")
+        xout = Grid3D(program.allocator, n, n, n, "XOUT")
+        cffts_mode = patches.mode(self.CFFTS1_SITE.name)
+        fftz2_mode = patches.mode(self.FFTZ2_SITE.name)
+        for planes in self.plane_slices(n):
+            program.spawn(self._body, program, y1, xout, planes, cffts_mode, fftz2_mode)
+
+    def _body(
+        self,
+        t: ThreadCtx,
+        program: Program,
+        y1: Grid3D,
+        xout: Grid3D,
+        planes: range,
+        cffts_mode: PrestoreMode,
+        fftz2_mode: PrestoreMode,
+    ) -> Iterator[Event]:
+        scratch = t.alloc(self.scratch_bytes, label="fftz2_scratch")
+        for _ in range(self.iterations):
+            for i3 in planes:
+                for i2 in range(y1.n2):
+                    yield from self._fftz2(t, scratch.base, fftz2_mode)
+                    yield from self._cffts1(t, y1, xout, i2, i3, cffts_mode)
+            program.add_work(1)
+
+    def _fftz2(self, t: ThreadCtx, scratch: int, mode: PrestoreMode) -> Iterator[Event]:
+        """Butterfly stages over the scratch: re-read + re-write each stage."""
+        with t.function("fftz2", file="ft.f90", line=688):
+            half = self.scratch_bytes // 2
+            for _ in range(self.STAGES):
+                yield t.read(scratch, half)
+                yield t.read(scratch + half, half)
+                yield t.compute(48)
+                yield from t.write_block(scratch, self.scratch_bytes)
+                yield from self.maybe_prestore(t, mode, scratch, self.scratch_bytes)
+
+    def _cffts1(
+        self, t: ThreadCtx, y1: Grid3D, xout: Grid3D, i2: int, i3: int, mode: PrestoreMode
+    ) -> Iterator[Event]:
+        """Copy the transformed pencil from Y1 to XOUT, sequentially."""
+        with t.function("cffts1", file="ft.f90", line=612):
+            yield t.read(y1.row_addr(i2, i3), y1.row_bytes)
+            yield self.flops_row(t, y1.n1)
+            yield from t.write_block(xout.row_addr(i2, i3), xout.row_bytes)
+            yield from self.maybe_prestore(t, mode, xout.row_addr(i2, i3), xout.row_bytes)

@@ -1,0 +1,77 @@
+"""NPB IS: integer sort (§7.4.2).
+
+The ``rank`` function dominates the writes, but they are small,
+scattered histogram-bucket increments: "the function actually writes
+small amounts of data in a seemingly random pattern.  In this case,
+adding a pre-store has no effect [...] DirtBuster detects the lack of
+sequentiality and does not suggest using a pre-store."
+
+The patch site exists so the §7.4.2 manual-misuse experiment can insert
+the pre-store DirtBuster would have declined.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
+from repro.sim.event import Event
+from repro.workloads.memapi import Program, Region, ThreadCtx
+from repro.workloads.nas.common import NASWorkload
+
+__all__ = ["ISWorkload"]
+
+
+class ISWorkload(NASWorkload):
+    """Counting sort: sequential key reads, scattered bucket writes."""
+
+    name = "nas-is"
+
+    SITE = PatchSite(
+        name="is.rank",
+        function="rank",
+        file="is.c",
+        line=404,
+        description="the randomly written key-count buckets (manual-misuse target)",
+    )
+
+    def patch_sites(self) -> Sequence[PatchSite]:
+        return (self.SITE,)
+
+    def spawn(self, program: Program, patches: PatchConfig) -> None:
+        num_keys = self.grid * self.grid * 16
+        keys = program.allocator.alloc(num_keys * 4, label="IS_keys")
+        # The bucket array vastly exceeds the cache (as in NPB IS, whose
+        # key range is 2^23): a given bucket line is written roughly
+        # once, so the data is "neither re-read nor re-written" (§7.4.2)
+        # and cleaning it neither helps nor hurts.
+        buckets = program.allocator.alloc(max(64, num_keys) * 16 * 8, label="IS_buckets")
+        mode = patches.mode(self.SITE.name)
+        per = max(1, num_keys // self.threads)
+        for i in range(self.threads):
+            start = i * per
+            stop = num_keys if i == self.threads - 1 else min(num_keys, start + per)
+            if start < stop:
+                program.spawn(self._body, program, keys, buckets, range(start, stop), mode)
+
+    def _body(
+        self,
+        t: ThreadCtx,
+        program: Program,
+        keys: Region,
+        buckets: Region,
+        key_range: range,
+        mode: PrestoreMode,
+    ) -> Iterator[Event]:
+        num_buckets = buckets.size // 8
+        for _ in range(self.iterations):
+            with t.function("rank", file="is.c", line=404):
+                for k in key_range:
+                    yield t.read(keys.addr(k * 4), 4)
+                    bucket = t.rng.randrange(num_buckets)  # hash of the key
+                    yield t.read(buckets.addr(bucket * 8), 8)
+                    yield t.compute(2)
+                    yield t.write(buckets.addr(bucket * 8), 8)
+                    if mode.op is not None:
+                        yield t.prestore(buckets.addr(bucket * 8), 8, mode.op)
+            program.add_work(1)

@@ -1,0 +1,113 @@
+"""NPB MG: multi-grid on a sequence of meshes (§7.2.2).
+
+The paper's DirtBuster findings, reproduced here by construction:
+
+* ``resid`` (mg.f90 line 544) writes the R grid 100 % sequentially;
+  R is re-read ~23.8 K instructions later (by ``psinv``) → **clean**;
+* ``psinv`` (mg.f90 line 614) writes the U grid 100 % sequentially;
+  U is not re-read or re-written within the reuse horizon → **skip**
+  (clean as the Fortran-friendly fallback, Listing 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
+from repro.sim.event import Event
+from repro.workloads.memapi import Program, ThreadCtx
+from repro.workloads.nas.common import Grid3D, NASWorkload
+
+__all__ = ["MGWorkload"]
+
+
+class MGWorkload(NASWorkload):
+    """psinv/resid sweeps over U, V and R grids."""
+
+    name = "nas-mg"
+    DEFAULT_FLOPS = 56
+
+    RESID_SITE = PatchSite(
+        name="mg.resid",
+        function="resid",
+        file="mg.f90",
+        line=544,
+        description="the sequentially written R grid rows",
+    )
+    PSINV_SITE = PatchSite(
+        name="mg.psinv",
+        function="psinv",
+        file="mg.f90",
+        line=614,
+        description="the sequentially written U grid rows (Listing 5)",
+    )
+
+    def patch_sites(self) -> Sequence[PatchSite]:
+        return (self.RESID_SITE, self.PSINV_SITE)
+
+    def spawn(self, program: Program, patches: PatchConfig) -> None:
+        n = self.grid
+        u = Grid3D(program.allocator, n, n, n, "U")
+        v = Grid3D(program.allocator, n, n, n, "V")
+        r = Grid3D(program.allocator, n, n, n, "R")
+        resid_mode = patches.mode(self.RESID_SITE.name)
+        psinv_mode = patches.mode(self.PSINV_SITE.name)
+        for planes in self.plane_slices(n - 2):
+            program.spawn(self._body, program, u, v, r, planes, resid_mode, psinv_mode)
+
+    def _body(
+        self,
+        t: ThreadCtx,
+        program: Program,
+        u: Grid3D,
+        v: Grid3D,
+        r: Grid3D,
+        planes: range,
+        resid_mode: PrestoreMode,
+        psinv_mode: PrestoreMode,
+    ) -> Iterator[Event]:
+        for _ in range(self.iterations):
+            # The V-cycle calls resid and psinv per level back to back;
+            # at plane granularity psinv consumes a plane of R shortly
+            # after resid produced it (the paper's ~23.8K-instruction
+            # re-read distance), while U written by psinv is not touched
+            # again until the next iteration's resid — beyond any
+            # cache-residency horizon ("re-read inf").
+            prev = None
+            for i3 in planes:
+                yield from self._resid(t, u, v, r, i3, resid_mode)
+                if prev is not None:
+                    yield from self._psinv(t, u, r, prev, psinv_mode)
+                prev = i3
+            if prev is not None:
+                yield from self._psinv(t, u, r, prev, psinv_mode)
+            # Coarse-level work and norm computation between iterations.
+            yield t.compute(12_000)
+            program.add_work(1)
+
+    def _resid(
+        self, t: ThreadCtx, u: Grid3D, v: Grid3D, r: Grid3D, i3: int, mode: PrestoreMode
+    ) -> Iterator[Event]:
+        """One plane of r = v - A*u: stencil reads of U, sequential R writes."""
+        with t.function("resid", file="mg.f90", line=544):
+            for i2 in range(1, r.n2 - 1):
+                # Stencil reads: the row and its 8 neighbours.
+                for d3 in (-1, 0, 1):
+                    for d2 in (-1, 0, 1):
+                        yield t.read(u.row_addr(i2 + d2, i3 + 1 + d3), u.row_bytes)
+                yield t.read(v.row_addr(i2, i3 + 1), v.row_bytes)
+                yield self.flops_row(t, r.n1)
+                yield from t.write_block(r.row_addr(i2, i3 + 1), r.row_bytes)
+                yield from self.maybe_prestore(t, mode, r.row_addr(i2, i3 + 1), r.row_bytes)
+
+    def _psinv(
+        self, t: ThreadCtx, u: Grid3D, r: Grid3D, i3: int, mode: PrestoreMode
+    ) -> Iterator[Event]:
+        """One plane of u += M*r: reads R rows, writes U rows (Listing 5)."""
+        with t.function("psinv", file="mg.f90", line=614):
+            for i2 in range(1, u.n2 - 1):
+                for d3 in (-1, 0, 1):
+                    yield t.read(r.row_addr(i2, i3 + 1 + d3), r.row_bytes)
+                yield self.flops_row(t, u.n1)
+                yield from t.write_block(u.row_addr(i2, i3 + 1), u.row_bytes)
+                yield from self.maybe_prestore(t, mode, u.row_addr(i2, i3 + 1), u.row_bytes)

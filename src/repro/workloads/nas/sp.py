@@ -1,0 +1,77 @@
+"""NPB SP: scalar penta-diagonal solver (§7.2.2).
+
+DirtBuster's finding: "SP allocates dozens of matrices, but a single
+matrix (RHS) accounts for most of the writes.  The matrix is mostly
+written in the compute_rhs function and is rarely reused."  The patch
+cleans RHS rows after writing them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
+from repro.sim.event import Event
+from repro.workloads.memapi import Program, ThreadCtx
+from repro.workloads.nas.common import Grid3D, NASWorkload
+
+__all__ = ["SPWorkload"]
+
+
+class SPWorkload(NASWorkload):
+    """compute_rhs sweeps over RHS, reading U/US/VS/WS/square."""
+
+    name = "nas-sp"
+    DEFAULT_FLOPS = 56
+
+    SITE = PatchSite(
+        name="sp.compute_rhs",
+        function="compute_rhs",
+        file="sp.f90",
+        line=310,
+        description="the sequentially written RHS rows",
+    )
+
+    def patch_sites(self) -> Sequence[PatchSite]:
+        return (self.SITE,)
+
+    def spawn(self, program: Program, patches: PatchConfig) -> None:
+        n = self.grid
+        # RHS holds the five flow components per point, like NPB's
+        # rhs(5, nx, ny, nz): rows are 5x wider than the scalar grids.
+        rhs = Grid3D(program.allocator, n * 5, n, n, "RHS")
+        inputs = [
+            Grid3D(program.allocator, n, n, n, name)
+            for name in ("U", "US", "VS", "WS", "SQUARE")
+        ]
+        mode = patches.mode(self.SITE.name)
+        for planes in self.plane_slices(n - 2):
+            program.spawn(self._body, program, rhs, inputs, planes, mode)
+
+    def _body(
+        self,
+        t: ThreadCtx,
+        program: Program,
+        rhs: Grid3D,
+        inputs: List[Grid3D],
+        planes: range,
+        mode: PrestoreMode,
+    ) -> Iterator[Event]:
+        for _ in range(self.iterations):
+            with t.function("compute_rhs", file="sp.f90", line=310):
+                for i3 in planes:
+                    for i2 in range(1, rhs.n2 - 1):
+                        for grid in inputs:
+                            yield t.read(grid.row_addr(i2, i3 + 1), grid.row_bytes)
+                        yield self.flops_row(t, rhs.n1)
+                        yield from t.write_block(rhs.row_addr(i2, i3 + 1), rhs.row_bytes)
+                        yield from self.maybe_prestore(
+                            t, mode, rhs.row_addr(i2, i3 + 1), rhs.row_bytes
+                        )
+            # The x/y/z solve phases: read-dominated at this scale.
+            with t.function("x_solve", file="sp.f90", line=28):
+                for i3 in planes:
+                    for i2 in range(1, rhs.n2 - 1, 4):
+                        yield t.read(rhs.row_addr(i2, i3 + 1), rhs.row_bytes)
+                        yield self.flops_row(t, rhs.n1)
+            program.add_work(1)

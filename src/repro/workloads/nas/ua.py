@@ -1,0 +1,74 @@
+"""NPB UA: unstructured adaptive mesh (§7.2.2).
+
+UA's element-wise solution updates write the solution arrays in long
+sequential runs (per element), with indirection-driven reads of the mesh
+connectivity in between.  Table 2 classifies it write-intensive with
+sequential writes; the paper patched it with a clean pre-store.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
+from repro.sim.event import Event
+from repro.workloads.memapi import Program, Region, ThreadCtx
+from repro.workloads.nas.common import ELEM, NASWorkload
+
+__all__ = ["UAWorkload"]
+
+#: Doubles per mesh element's local solution block.
+_ELEMENT_DOUBLES = 128
+
+
+class UAWorkload(NASWorkload):
+    """Per-element sequential solution writes with indirect mesh reads."""
+
+    name = "nas-ua"
+    DEFAULT_FLOPS = 500
+
+    SITE = PatchSite(
+        name="ua.diffusion",
+        function="diffusion",
+        file="ua.f90",
+        line=412,
+        description="the per-element solution blocks",
+    )
+
+    def patch_sites(self) -> Sequence[PatchSite]:
+        return (self.SITE,)
+
+    def spawn(self, program: Program, patches: PatchConfig) -> None:
+        elements = self.grid * self.grid
+        block = _ELEMENT_DOUBLES * ELEM
+        solution = program.allocator.alloc(elements * block, label="UA_solution")
+        mesh = program.allocator.alloc(elements * 64, label="UA_mesh")
+        mode = patches.mode(self.SITE.name)
+        per = max(1, elements // self.threads)
+        for i in range(self.threads):
+            start = i * per
+            stop = elements if i == self.threads - 1 else min(elements, start + per)
+            if start < stop:
+                program.spawn(self._body, program, solution, mesh, range(start, stop), mode)
+
+    def _body(
+        self,
+        t: ThreadCtx,
+        program: Program,
+        solution: Region,
+        mesh: Region,
+        elements: range,
+        mode: PrestoreMode,
+    ) -> Iterator[Event]:
+        block = _ELEMENT_DOUBLES * ELEM
+        total = solution.size // block
+        for _ in range(self.iterations):
+            with t.function("diffusion", file="ua.f90", line=412):
+                for e in elements:
+                    # Indirect connectivity reads (a few random neighbours).
+                    for _ in range(3):
+                        yield t.read(mesh.addr(t.rng.randrange(total) * 64), 64)
+                    yield t.compute(self.flops_per_point * _ELEMENT_DOUBLES // 4)
+                    yield from t.write_block(solution.addr(e * block), block)
+                    yield from self.maybe_prestore(t, mode, solution.addr(e * block), block)
+            program.add_work(1)

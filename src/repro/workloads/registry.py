@@ -1,0 +1,65 @@
+"""Registry of every evaluated workload (the paper's Table 2 roster)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.kv import CLHTWorkload, MasstreeWorkload, YCSBSpec
+from repro.workloads.microbench import Listing1, Listing2, Listing3
+from repro.workloads.nas import (
+    BTWorkload,
+    CGWorkload,
+    EPWorkload,
+    FTWorkload,
+    ISWorkload,
+    LUWorkload,
+    MGWorkload,
+    SPWorkload,
+    UAWorkload,
+)
+from repro.workloads.phoronix import make_phoronix_suite
+from repro.workloads.tensorflow_sim import TensorFlowWorkload
+from repro.workloads.x9 import X9Workload
+
+__all__ = ["default_workloads", "make_workload", "WORKLOAD_FACTORIES"]
+
+WORKLOAD_FACTORIES: Dict[str, Callable[[], Workload]] = {
+    "listing1": Listing1,
+    "listing2": Listing2,
+    "listing3": Listing3,
+    "tensorflow": TensorFlowWorkload,
+    "x9": X9Workload,
+    "clht": lambda: CLHTWorkload(YCSBSpec(mix="A")),
+    "masstree": lambda: MasstreeWorkload(YCSBSpec(mix="A")),
+    "nas-mg": MGWorkload,
+    "nas-ft": FTWorkload,
+    "nas-sp": SPWorkload,
+    "nas-ua": UAWorkload,
+    "nas-bt": BTWorkload,
+    "nas-is": ISWorkload,
+    "nas-lu": LUWorkload,
+    "nas-ep": EPWorkload,
+    "nas-cg": CGWorkload,
+}
+
+
+def make_workload(name: str) -> Workload:
+    """Instantiate a workload by its Table 2 name."""
+    try:
+        return WORKLOAD_FACTORIES[name]()
+    except KeyError:
+        phoronix = {w.name: w for w in make_phoronix_suite()}
+        if name in phoronix:
+            return phoronix[name]
+        known = sorted(WORKLOAD_FACTORIES) + sorted(phoronix)
+        raise WorkloadError(f"unknown workload {name!r}; choose from {known}") from None
+
+
+def default_workloads(include_phoronix: bool = True) -> List[Workload]:
+    """Every Table 2 application with default (scaled) parameters."""
+    workloads: List[Workload] = [WORKLOAD_FACTORIES[name]() for name in WORKLOAD_FACTORIES]
+    if include_phoronix:
+        workloads.extend(make_phoronix_suite())
+    return workloads

@@ -1,0 +1,166 @@
+"""TensorFlow CNN-training stand-in: the Eigen tensor evaluator (§7.2.1).
+
+The paper's whole TensorFlow result hinges on one templated function —
+``Eigen::TensorEvaluator<...>::run()`` (TensorExecutor.h line 272) — whose
+manually unrolled loop calls ``evalPacket`` four times per iteration
+(Listing 4).  DirtBuster's findings about it, which this port reproduces
+by construction:
+
+* ~50 % of all memory writes happen here for small batch sizes, ~30 %
+  for large ones (the rest come from non-sequential writers);
+* the same template instantiates over **large tensors** (MBs; written
+  sequentially, never re-read or re-written within the window —
+  "re-read inf / re-write inf") and over **small ~240 B tensors** that
+  are re-read almost immediately ("re-read 2");
+* ``evalPacket`` *loads a previously written packet* before storing the
+  next one (``a[x] = f(a[x - 4*PacketSize])``), which is why skipping the
+  cache backfires: the dependent load then misses all the way to memory.
+
+The workload runs training "iterations": each evaluates a mix of large
+tensor ops and small (bias/scalar) tensor ops through the same evaluator
+function, plus a scattered-writing optimiser step that dilutes the
+evaluator's share of writes as the batch grows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
+from repro.errors import WorkloadError
+from repro.sim.event import Event
+from repro.workloads.base import Workload
+from repro.workloads.memapi import Program, Region, ThreadCtx
+
+__all__ = ["TensorFlowWorkload"]
+
+#: Bytes of one evalPacket store (a SIMD packet).
+PACKET = 64
+#: The unrolled loop evaluates 4 packets per iteration (Listing 4).
+UNROLL = 4
+#: Size of the small, immediately re-read tensors DirtBuster reports.
+SMALL_TENSOR = 240
+
+
+class TensorFlowWorkload(Workload):
+    """pts/tensorflow benchmark stand-in (Figures 7 and 8)."""
+
+    name = "tensorflow"
+    default_threads = 4
+
+    SITE = PatchSite(
+        name="tensorflow.eval_packet",
+        function="Eigen::TensorEvaluator::run",
+        file="TensorExecutor.h",
+        line=272,
+        description="the unrolled evalPacket chunk (Listing 4 line 8)",
+    )
+
+    def __init__(
+        self,
+        batch_size: int = 32,
+        iterations: int = 3,
+        threads: int = 4,
+        large_tensor_kb: int = 256,
+        ops_per_iteration: int = 3,
+    ) -> None:
+        if batch_size < 0 or iterations <= 0 or threads <= 0:
+            raise WorkloadError("tensorflow parameters out of range")
+        self.batch_size = batch_size
+        self.iterations = iterations
+        self.threads = threads
+        #: Footprint of the model's large tensors (weights/gradients):
+        #: fixed by the model, independent of batch size.
+        self.large_tensor_kb = large_tensor_kb
+        self.ops_per_iteration = ops_per_iteration
+
+    def patch_sites(self) -> Sequence[PatchSite]:
+        return (self.SITE,)
+
+    # -- the Eigen evaluator -----------------------------------------------------
+
+    def _evaluator_run(
+        self,
+        t: ThreadCtx,
+        output: int,
+        input_: int,
+        size: int,
+        mode: PrestoreMode,
+    ) -> Iterator[Event]:
+        """Listing 4: the unrolled evalPacket loop over one tensor op.
+
+        Each chunk loads the input packets and a previously written
+        output packet (the ``a[x - 4*PacketSize]`` dependency), computes,
+        and stores ``UNROLL`` packets; with a clean pre-store, the chunk
+        is cleaned right after being written (Listing 4 line 8).
+        """
+        nontemporal = mode is PrestoreMode.SKIP
+        chunk = UNROLL * PACKET
+        with t.function("Eigen::TensorEvaluator::run", file="TensorExecutor.h", line=272):
+            offset = 0
+            while offset < size:
+                length = min(chunk, size - offset)
+                yield t.read(input_ + offset, length)
+                if offset >= chunk:
+                    # Each evalPacket loads a previously written output
+                    # packet (a[x] = f(a[x - 4*PacketSize])) — the
+                    # dependency that makes skipping the cache backfire.
+                    for p in range(UNROLL):
+                        yield t.read(output + offset - chunk + p * PACKET, PACKET)
+                yield t.compute(UNROLL * 2)
+                yield from t.write_block(output + offset, length, nontemporal=nontemporal)
+                if mode.op is not None:
+                    yield t.prestore(output + offset, length, mode.op)
+                offset += length
+
+    # -- the whole training step ----------------------------------------------------
+
+    def spawn(self, program: Program, patches: PatchConfig) -> None:
+        mode = patches.mode(self.SITE.name)
+        for _ in range(self.threads):
+            program.spawn(self._worker, program, mode)
+
+    def _worker(self, t: ThreadCtx, program: Program, mode: PrestoreMode) -> Iterator[Event]:
+        large_bytes = self.large_tensor_kb * 1024
+        large_out = [
+            t.alloc(large_bytes, label=f"tensor_out_{i}") for i in range(self.ops_per_iteration)
+        ]
+        large_in = [
+            t.alloc(large_bytes, label=f"tensor_in_{i}") for i in range(self.ops_per_iteration)
+        ]
+        small_out = t.alloc(SMALL_TENSOR, label="small_tensor")
+        small_in = t.alloc(SMALL_TENSOR, label="small_tensor_in")
+        # Optimiser/activation state: the non-sequential writer whose
+        # share grows with batch size, diluting the evaluator from ~50 %
+        # of all writes (small batches) to ~30 % (large batches) — the
+        # shares DirtBuster reports in Section 7.2.1.
+        scatter = t.alloc(2 << 20, label="optimizer_state")
+        scatter_lines = scatter.size // 64
+        evaluator_lines = self.ops_per_iteration * (large_bytes // 64)
+        share_growth = 1.0 + 1.33 * min(1.0, self.batch_size / 150.0)
+        touches = int(evaluator_lines * share_growth)
+        for _ in range(self.iterations):
+            for op in range(self.ops_per_iteration):
+                # Large tensor op through the evaluator.
+                yield from self._evaluator_run(
+                    t, large_out[op].base, large_in[op].base, large_bytes, mode
+                )
+                # Small (bias/scalar) tensor ops: written, then re-read
+                # ~2 instructions later by the next evaluator call (the
+                # paper's "re-read 2" size class).
+                yield from self._evaluator_run(
+                    t, small_out.base, small_in.base, SMALL_TENSOR, mode
+                )
+                with t.function(
+                    "Eigen::TensorEvaluator::run", file="TensorExecutor.h", line=272
+                ):
+                    yield t.read(small_out.base, SMALL_TENSOR)
+                    yield t.compute(8)
+            with t.function("apply_gradient_descent", file="training_ops.cc", line=88):
+                # Scattered read-modify-writes over optimiser state.
+                for _ in range(touches):
+                    addr = scatter.addr(t.rng.randrange(scatter_lines) * 64)
+                    yield t.read(addr, 8)
+                    yield t.compute(6)
+                    yield t.write(addr, 8)
+            program.add_work(1)

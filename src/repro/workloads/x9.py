@@ -1,0 +1,134 @@
+"""The X9 message-passing benchmark (paper ref. [17], Section 7.3.2).
+
+X9 passes fixed-size messages through a ring of reusable inbox slots: the
+producer fills a message structure (``fill_msg``), then publishes it with
+a compare-and-swap on the slot header (``x9_write_to_inbox``); the
+consumer polls headers, reads the message, and CASes the slot free.
+
+Two paper-relevant properties:
+
+* messages are *re-used* ("X9 reuses the message structures to avoid the
+  overheads of allocations on every message exchange") — so DirtBuster
+  sees a finite re-write distance and recommends **demote**, not clean;
+* the fill is immediately followed by an instruction with fence
+  semantics (the CAS), so without a pre-store the message is published
+  "at the last minute" inside the CAS.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
+from repro.errors import WorkloadError
+from repro.sim.event import Event
+from repro.workloads.base import Workload
+from repro.workloads.memapi import Mailbox, Program, Region, ThreadCtx
+
+__all__ = ["X9Workload"]
+
+#: Per-slot header: sequence word the producer/consumer CAS on.
+_HEADER_BYTES = 8
+
+
+class X9Workload(Workload):
+    """One producer, one consumer, a ring of reusable message slots."""
+
+    name = "x9"
+    default_threads = 2
+
+    SITE = PatchSite(
+        name="x9.fill_msg",
+        function="fill_msg",
+        file="x9.c",
+        line=201,
+        description="the filled message structure (Listing 8)",
+    )
+
+    def __init__(
+        self,
+        messages: int = 2000,
+        message_size: int = 512,
+        ring_slots: int = 8,
+        consumer_work: int = 400,
+        producer_work: int = 400,
+    ) -> None:
+        if messages <= 0 or message_size <= 0 or ring_slots <= 0:
+            raise WorkloadError("x9 parameters must be positive")
+        self.messages = messages
+        self.message_size = message_size
+        self.ring_slots = ring_slots
+        #: Instructions each side spends handling one message (parsing /
+        #: producing payload) — the useful work a demote overlaps with.
+        self.consumer_work = consumer_work
+        self.producer_work = producer_work
+
+    def patch_sites(self) -> Sequence[PatchSite]:
+        return (self.SITE,)
+
+    def spawn(self, program: Program, patches: PatchConfig) -> None:
+        mode = patches.mode(self.SITE.name)
+        line = program.machine.line_size
+        # Header occupies its own cache line (X9 pads to avoid false
+        # sharing between the flag the CAS hits and the payload).
+        payload_span = (self.message_size + line - 1) // line * line
+        slot_stride = line + payload_span
+        ring = program.allocator.alloc(self.ring_slots * slot_stride, label="x9_inbox", align=line)
+        mailbox = Mailbox()
+        self._line = line
+        program.spawn(self._producer, program, ring, slot_stride, mode, mailbox)
+        program.spawn(self._consumer, program, ring, slot_stride, mailbox)
+
+    # -- slot layout -------------------------------------------------------
+
+    def _header_addr(self, ring: Region, slot_stride: int, slot: int) -> int:
+        return ring.addr(slot * slot_stride)
+
+    def _payload_addr(self, ring: Region, slot_stride: int, slot: int) -> int:
+        return ring.addr(slot * slot_stride + self._line)
+
+    # -- threads ----------------------------------------------------------------
+
+    def _producer(
+        self,
+        t: ThreadCtx,
+        program: Program,
+        ring: Region,
+        slot_stride: int,
+        mode: PrestoreMode,
+        mailbox: Mailbox,
+    ) -> Iterator[Event]:
+        for i in range(self.messages):
+            slot = i % self.ring_slots
+            payload = self._payload_addr(ring, slot_stride, slot)
+            with t.function("producer_fn", file="x9_bench.c", line=55):
+                yield t.compute(self.producer_work)  # produce the payload
+            with t.function("fill_msg", file="x9.c", line=201):
+                yield from t.write_block(payload, self.message_size)
+                if mode.op is not None:
+                    yield t.prestore(payload, self.message_size, mode.op)
+            with t.function("x9_write_to_inbox", file="x9.c", line=255):
+                if i >= self.ring_slots:
+                    # Spin until the consumer released this slot, then
+                    # re-check its header (the consumer wrote it last, so
+                    # this read pulls the line across the machine).
+                    yield t.wait(mailbox, ("released", i - self.ring_slots))
+                yield t.read(self._header_addr(ring, slot_stride, slot), 8)
+                yield t.compute(6)  # bounds/sequence checks
+                yield t.atomic(self._header_addr(ring, slot_stride, slot), 8)
+                yield t.post(mailbox, ("published", i))
+            program.add_work(1)
+
+    def _consumer(
+        self, t: ThreadCtx, program: Program, ring: Region, slot_stride: int, mailbox: Mailbox
+    ) -> Iterator[Event]:
+        for i in range(self.messages):
+            slot = i % self.ring_slots
+            with t.function("x9_read_from_inbox", file="x9.c", line=310):
+                yield t.wait(mailbox, ("published", i))
+                yield t.read(self._header_addr(ring, slot_stride, slot), 8)
+                yield t.read(self._payload_addr(ring, slot_stride, slot), self.message_size)
+                yield t.atomic(self._header_addr(ring, slot_stride, slot), 8)  # release
+                yield t.post(mailbox, ("released", i))
+            with t.function("consumer_fn", file="x9_bench.c", line=91):
+                yield t.compute(self.consumer_work)

@@ -1,0 +1,62 @@
+"""Shared fixtures: small machines that keep unit tests fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.cache import CacheLevelSpec
+from repro.sim.machine import MachineSpec, machine_a, machine_b_fast, machine_b_slow
+from repro.sim.memory import dram_spec, fpga_spec, optane_pmem_spec
+
+
+@pytest.fixture
+def tiny_machine_a() -> MachineSpec:
+    """Machine A geometry shrunk for unit tests (16KB/64KB caches)."""
+    return MachineSpec(
+        name="tiny-A",
+        line_size=64,
+        memory_model="tso",
+        cache_levels=(
+            CacheLevelSpec(name="L1", size_bytes=16 * 1024, ways=4, hit_latency=4),
+            CacheLevelSpec(name="LLC", size_bytes=64 * 1024, ways=8, hit_latency=30, hashed_index=True),
+        ),
+        device=optane_pmem_spec(),
+        replacement_policy="intel-like",
+        num_cores=4,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def tiny_machine_b() -> MachineSpec:
+    """Machine B geometry shrunk for unit tests."""
+    return MachineSpec(
+        name="tiny-B",
+        line_size=128,
+        memory_model="weak",
+        cache_levels=(
+            CacheLevelSpec(name="L1", size_bytes=16 * 1024, ways=4, hit_latency=4),
+            CacheLevelSpec(name="L2", size_bytes=64 * 1024, ways=8, hit_latency=24, hashed_index=True),
+        ),
+        device=fpga_spec(read_latency=100, bandwidth=2.0, line_size=128),
+        replacement_policy="arm-like",
+        num_cores=4,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def tiny_machine_dram() -> MachineSpec:
+    """Conventional DRAM behind small caches (no write amplification)."""
+    return MachineSpec(
+        name="tiny-dram",
+        line_size=64,
+        memory_model="tso",
+        cache_levels=(
+            CacheLevelSpec(name="L1", size_bytes=16 * 1024, ways=4, hit_latency=4),
+            CacheLevelSpec(name="LLC", size_bytes=64 * 1024, ways=8, hit_latency=30),
+        ),
+        device=dram_spec(),
+        num_cores=4,
+        seed=7,
+    )

@@ -1,0 +1,62 @@
+"""Unit tests for the analysis utilities (ipmctl, perf, sweep, tables)."""
+
+import pytest
+
+from repro.analysis.ipmctl import MediaCounters, read_media_counters
+from repro.analysis.perf import profile_store_time
+from repro.analysis.sweep import sweep
+from repro.analysis.tables import format_table
+from repro.core.prestore import PatchConfig, PrestoreMode
+from repro.workloads.microbench import Listing1
+from repro.workloads.phoronix import ReadMostlyWorkload
+
+
+class TestIpmctl:
+    def test_counters_from_run(self, tiny_machine_a):
+        w = Listing1(element_size=1024, num_elements=128, iterations=200)
+        result = w.run(tiny_machine_a, PatchConfig.baseline())
+        counters = read_media_counters(result.run)
+        assert counters.bytes_received == result.run.device_bytes_received
+        assert counters.write_amplification == pytest.approx(
+            result.run.write_amplification
+        )
+        assert "WriteAmplification" in counters.render()
+
+    def test_idle_device_reports_unity(self):
+        assert MediaCounters(0, 0, 0).write_amplification == 1.0
+
+
+class TestPerf:
+    def test_write_heavy_vs_read_heavy(self, tiny_machine_a):
+        writer = Listing1(element_size=1024, num_elements=256, iterations=300)
+        reader = ReadMostlyWorkload("pytorch", "stream", scale=200)
+        wp = profile_store_time(writer, tiny_machine_a, sampling_period=53)
+        rp = profile_store_time(reader, tiny_machine_a, sampling_period=53)
+        assert wp.write_intensive
+        assert not rp.write_intensive
+        assert wp.store_share > rp.store_share
+        assert "listing1_loop" in dict(wp.top_functions)
+        assert "store" in wp.render() or "%" in wp.render()
+
+
+class TestSweep:
+    def test_sweep_covers_grid(self, tiny_machine_a):
+        points = sweep(
+            lambda size: Listing1(element_size=size, num_elements=64, iterations=100),
+            tiny_machine_a,
+            values=(256, 1024),
+            modes=(PrestoreMode.NONE, PrestoreMode.CLEAN),
+        )
+        assert len(points) == 4
+        combos = {(p.parameter, p.mode) for p in points}
+        assert (256, PrestoreMode.CLEAN) in combos
+        assert all(p.cycles > 0 for p in points)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["short", 1.25], ["longer-name", 100]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "longer-name" in lines[2]
+        assert "1.25" in text

@@ -1,0 +1,110 @@
+"""Unit and property tests for the DirtBuster B-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dirtbuster.btree import BTree
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_min_degree_validated(self):
+        with pytest.raises(ConfigurationError):
+            BTree(t=1)
+
+    def test_insert_get(self):
+        tree = BTree(t=2)
+        tree[5] = "five"
+        tree[1] = "one"
+        assert tree[5] == "five"
+        assert tree.get(1) == "one"
+        assert tree.get(99, "default") == "default"
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            BTree()[42]
+
+    def test_overwrite(self):
+        tree = BTree(t=2)
+        tree[5] = "a"
+        tree[5] = "b"
+        assert tree[5] == "b"
+        assert len(tree) == 1
+
+    def test_setdefault(self):
+        tree = BTree(t=2)
+        assert tree.setdefault(1, "x") == "x"
+        assert tree.setdefault(1, "y") == "x"
+
+    def test_ordered_iteration(self):
+        tree = BTree(t=2)
+        keys = [9, 3, 7, 1, 5, 11, 2]
+        for k in keys:
+            tree[k] = k
+        assert list(tree.keys()) == sorted(keys)
+        assert list(tree.values()) == sorted(keys)
+
+    def test_delete(self):
+        tree = BTree(t=2)
+        for k in range(50):
+            tree[k] = k
+        del tree[25]
+        assert 25 not in tree
+        assert len(tree) == 49
+        with pytest.raises(KeyError):
+            del tree[25]
+
+    def test_pop(self):
+        tree = BTree(t=2)
+        tree[1] = "a"
+        assert tree.pop(1) == "a"
+        assert tree.pop(1, "gone") == "gone"
+
+    def test_height_grows_logarithmically(self):
+        tree = BTree(t=2)
+        for k in range(1000):
+            tree[k] = k
+        assert tree.height() <= 12  # log2-ish, far below 1000
+
+    def test_invariants_after_bulk_load(self):
+        tree = BTree(t=3)
+        order = list(range(500))
+        random.Random(3).shuffle(order)
+        for k in order:
+            tree[k] = k
+        tree.check_invariants()
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["set", "del", "get"]),
+            st.integers(min_value=0, max_value=60),
+        ),
+        max_size=300,
+    ),
+    t=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=80, deadline=None)
+def test_btree_matches_dict_model(ops, t):
+    """Property: the B-tree behaves exactly like a dict under random ops,
+    and its structural invariants hold throughout."""
+    tree = BTree(t=t)
+    model = {}
+    for op, key in ops:
+        if op == "set":
+            tree[key] = key * 2
+            model[key] = key * 2
+        elif op == "del":
+            if key in model:
+                del tree[key]
+                del model[key]
+            else:
+                assert tree.pop(key) is None
+        else:
+            assert tree.get(key) == model.get(key)
+    assert len(tree) == len(model)
+    assert list(tree.items()) == sorted(model.items())
+    tree.check_invariants()

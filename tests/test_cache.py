@@ -1,0 +1,211 @@
+"""Unit and property tests for caches and the inclusive hierarchy."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.cache import CacheHierarchy, CacheLevel, CacheLevelSpec
+from repro.sim.replacement import make_policy
+
+
+def _level(size=1024, ways=2, line=64, policy="lru", name="L1", hashed=False, latency=4):
+    return CacheLevel(
+        CacheLevelSpec(name=name, size_bytes=size, ways=ways, hit_latency=latency),
+        line,
+        make_policy(policy, seed=3),
+        hashed_index=hashed,
+    )
+
+
+def _hierarchy(policy="lru", hashed=False):
+    l1 = _level(size=512, ways=2, policy=policy, name="L1")
+    l2 = _level(size=2048, ways=4, policy=policy, name="L2", hashed=hashed, latency=12)
+    return CacheHierarchy([l1, l2], 64)
+
+
+class TestCacheLevel:
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigurationError):
+            CacheLevelSpec(name="bad", size_bytes=1000, ways=3, hit_latency=1).validate(64)
+
+    def test_miss_then_hit(self):
+        lvl = _level()
+        assert not lvl.access(5, is_write=False)
+        lvl.install(5)
+        assert lvl.access(5, is_write=False)
+        assert lvl.stats.hits == 1 and lvl.stats.misses == 1
+
+    def test_write_sets_dirty(self):
+        lvl = _level()
+        lvl.install(5)
+        assert not lvl.is_dirty(5)
+        lvl.access(5, is_write=True)
+        assert lvl.is_dirty(5)
+
+    def test_eviction_on_full_set(self):
+        lvl = _level(size=256, ways=2)  # 2 sets
+        sets = lvl.num_sets
+        lines = [i * sets for i in range(3)]  # same set
+        for line in lines[:2]:
+            assert lvl.install(line) is None
+        evicted = lvl.install(lines[2])
+        assert evicted is not None
+        assert evicted.line in lines[:2]
+
+    def test_dirty_eviction_flag(self):
+        lvl = _level(size=256, ways=2)
+        sets = lvl.num_sets
+        lvl.install(0, dirty=True)
+        lvl.install(sets)
+        evicted = lvl.install(2 * sets)
+        if evicted.line == 0:
+            assert evicted.dirty
+        else:
+            assert not evicted.dirty
+
+    def test_clean_keeps_line_resident(self):
+        lvl = _level()
+        lvl.install(9, dirty=True)
+        assert lvl.clean(9) is True
+        assert lvl.contains(9)
+        assert not lvl.is_dirty(9)
+        assert lvl.clean(9) is False  # second clean owes nothing
+
+    def test_invalidate(self):
+        lvl = _level()
+        lvl.install(9, dirty=True)
+        assert lvl.invalidate(9) == (True, True)
+        assert not lvl.contains(9)
+        assert lvl.invalidate(9) == (False, False)
+
+    def test_occupancy_bounded_by_capacity(self):
+        lvl = _level(size=512, ways=2)
+        for line in range(100):
+            lvl.install(line)
+        assert lvl.occupancy() <= lvl.capacity_lines
+
+    def test_hashed_index_spreads_lines(self):
+        plain = _level(size=4096, ways=2)
+        hashed = _level(size=4096, ways=2, hashed=True)
+        # Consecutive lines map to consecutive sets only without hashing.
+        plain_sets = [plain.set_index(i) for i in range(8)]
+        hashed_sets = [hashed.set_index(i) for i in range(8)]
+        assert plain_sets == [i % plain.num_sets for i in range(8)]
+        assert hashed_sets != plain_sets
+
+    def test_walk_lines_matches_residents(self):
+        lvl = _level()
+        for line in range(20):
+            lvl.install(line)
+        assert sorted(lvl.walk_lines()) == sorted(lvl.resident_lines())
+
+
+class TestHierarchy:
+    def test_requires_growing_sizes(self):
+        big = _level(size=2048, ways=4)
+        small = _level(size=512, ways=2)
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy([big, small], 64)
+
+    def test_miss_fills_all_levels(self):
+        h = _hierarchy()
+        result = h.access_line(7, is_write=False)
+        assert result.memory_access and result.hit_level == "memory"
+        assert all(lvl.contains(7) for lvl in h.levels)
+
+    def test_l2_hit_fills_l1(self):
+        h = _hierarchy()
+        h.access_line(7, is_write=False)
+        h.levels[0].invalidate(7)
+        result = h.access_line(7, is_write=False)
+        assert result.hit_level == "L2"
+        assert h.levels[0].contains(7)
+
+    def test_write_dirties_innermost(self):
+        h = _hierarchy()
+        h.access_line(7, is_write=True)
+        assert h.levels[0].is_dirty(7)
+        assert not h.levels[1].is_dirty(7)
+
+    def test_clean_line_reports_owed_writeback(self):
+        h = _hierarchy()
+        h.access_line(7, is_write=True)
+        assert h.clean_line(7) is True
+        assert h.contains(7)
+        assert not h.is_dirty(7)
+        assert h.clean_line(7) is False
+
+    def test_demote_moves_dirty_to_last_level(self):
+        h = _hierarchy()
+        h.access_line(7, is_write=True)
+        assert h.demote_line(7) is True
+        assert not h.levels[0].contains(7)
+        assert h.levels[1].is_dirty(7)
+
+    def test_invalidate_line_reports_dirty(self):
+        h = _hierarchy()
+        h.access_line(7, is_write=True)
+        assert h.invalidate_line(7) is True
+        assert not h.contains(7)
+
+    def test_drain_dirty_lines(self):
+        h = _hierarchy()
+        for line in (1, 2, 3):
+            h.access_line(line, is_write=True)
+        h.access_line(4, is_write=False)
+        owed = h.drain_dirty_lines()
+        assert sorted(owed) == [1, 2, 3]
+        assert not any(h.is_dirty(line) for line in (1, 2, 3))
+
+    def test_llc_eviction_back_invalidates_inner(self):
+        """Inclusion: a line leaving the last level leaves all levels."""
+        h = _hierarchy(policy="lru")
+        writebacks = []
+        touched = set()
+        for line in range(200):
+            touched.add(line)
+            res = h.access_line(line, is_write=False)
+            writebacks += res.writebacks
+        for line in touched:
+            if h.levels[0].contains(line):
+                assert h.levels[1].contains(line), "inclusion violated"
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=300), st.booleans()),
+        min_size=1,
+        max_size=400,
+    ),
+    policy=st.sampled_from(["lru", "intel-like", "arm-like", "fifo"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_dirty_line_conservation(ops, policy):
+    """Property: every dirtied line is written back, still dirty, or was
+    re-cleaned by a later writeback — dirt never silently vanishes."""
+    h = _hierarchy(policy=policy, hashed=True)
+    written_back = set()
+    dirtied = set()
+    for line, is_write in ops:
+        if is_write:
+            dirtied.add(line)
+        res = h.access_line(line, is_write)
+        written_back.update(res.writebacks)
+    still_dirty = {line for line in dirtied if h.is_dirty(line)}
+    lost = dirtied - written_back - still_dirty
+    assert not lost, f"dirty lines lost: {lost}"
+
+
+@given(
+    lines=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=300),
+)
+@settings(max_examples=40, deadline=None)
+def test_no_duplicate_residency(lines):
+    """Property: a line occupies at most one way per level."""
+    lvl = _level(size=1024, ways=4, policy="intel-like", hashed=True)
+    for line in lines:
+        lvl.access(line, is_write=False) or lvl.install(line)
+    walked = list(lvl.walk_lines())
+    assert len(walked) == len(set(walked))

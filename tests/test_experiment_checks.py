@@ -1,0 +1,135 @@
+"""The experiments' shape checks must actually catch regressions.
+
+Each test feeds a synthetic *wrong* result into an experiment's
+``check()`` and asserts it complains — guarding the guards.
+"""
+
+import pytest
+
+from repro.experiments import get
+from repro.experiments.registry import ExperimentResult, SeriesRow
+
+
+def _result(eid, rows):
+    return ExperimentResult(eid, "t", "c", [SeriesRow(c, m) for c, m in rows])
+
+
+class TestFig3Checks:
+    def test_detects_missing_64b_neutrality(self):
+        exp = get("fig3")
+        rows = [({"element_size": 64, "threads": 1}, {"speedup_clean": 2.5, "wa_baseline": 4.0, "wa_clean": 4.0})]
+        assert exp.check(_result("fig3", rows))
+
+    def test_detects_unscaled_threads(self):
+        exp = get("fig3")
+        rows = [
+            ({"element_size": 4096, "threads": 1}, {"speedup_clean": 3.0, "wa_baseline": 3.8, "wa_clean": 1.0}),
+            ({"element_size": 4096, "threads": 5}, {"speedup_clean": 1.9, "wa_baseline": 3.8, "wa_clean": 1.0}),
+        ]
+        failures = exp.check(_result("fig3", rows))
+        assert any("grow with threads" in f for f in failures)
+
+
+class TestFig5Checks:
+    def test_detects_nonzero_start(self):
+        exp = get("fig5")
+        rows = [
+            ({"machine": m, "reads_before_fence": n}, {"improvement_pct": v})
+            for m in ("B-fast", "B-slow")
+            for n, v in ((0, 30.0), (20, 50.0), (160, 10.0))
+        ]
+        failures = exp.check(_result("fig5", rows))
+        assert any("0 reads" in f for f in failures)
+
+    def test_detects_missing_decay(self):
+        exp = get("fig5")
+        rows = [
+            ({"machine": m, "reads_before_fence": n}, {"improvement_pct": v})
+            for m in ("B-fast", "B-slow")
+            for n, v in ((0, 1.0), (20, 30.0), (160, 45.0))
+        ]
+        failures = exp.check(_result("fig5", rows))
+        assert any("decay" in f for f in failures)
+
+
+class TestKVChecks:
+    def test_fig10_detects_clean_beating_skip(self):
+        exp = get("fig10")
+        rows = [
+            (
+                {"value_size": 4096},
+                {"speedup_clean": 2.5, "speedup_skip": 1.9,
+                 "throughput_baseline": 1, "throughput_clean": 2, "throughput_skip": 1.5},
+            )
+        ]
+        failures = exp.check(_result("fig10", rows))
+        assert any("beat cleaning" in f for f in failures)
+
+    def test_fig12_detects_surviving_amplification(self):
+        exp = get("fig12")
+        rows = [({"value_size": 4096}, {"wa_baseline": 3.8, "wa_clean": 3.0, "wa_skip": 1.0})]
+        failures = exp.check(_result("fig12", rows))
+        assert any("eliminate WA" in f for f in failures)
+
+
+class TestMachineBChecks:
+    def test_fig13_detects_slow_beating_fast(self):
+        exp = get("fig13")
+        rows = [
+            ({"machine": "B-fast"}, {"speedup_clean": 1.15, "fence_stall_baseline": 10, "fence_stall_clean": 5, "throughput_baseline": 1, "throughput_clean": 1.15}),
+            ({"machine": "B-slow"}, {"speedup_clean": 1.60, "fence_stall_baseline": 10, "fence_stall_clean": 5, "throughput_baseline": 1, "throughput_clean": 1.6}),
+        ]
+        failures = exp.check(_result("fig13", rows))
+        assert any("fast FPGA" in f for f in failures)
+
+
+class TestOverheadChecks:
+    def test_listing3_detects_cheap_slowdown(self):
+        exp = get("listing3")
+        rows = [
+            ({"variant": "baseline"}, {"cycles_per_iteration": 1.0}),
+            ({"variant": "clean"}, {"cycles_per_iteration": 3.0, "slowdown": 3.0}),
+        ]
+        failures = exp.check(_result("listing3", rows))
+        assert failures
+
+    def test_sec741_detects_real_overhead(self):
+        exp = get("sec741")
+        rows = [({"workload": "nas-mg"}, {"overhead_pct": 12.0})]
+        failures = exp.check(_result("sec741", rows))
+        assert any("free" in f for f in failures)
+
+    def test_sec742_detects_harmless_fftz2(self):
+        exp = get("sec742")
+        rows = [
+            ({"workload": "nas-ft", "patched_site": "ft.fftz2"}, {"slowdown": 1.0}),
+            ({"workload": "nas-is", "patched_site": "is.rank"}, {"slowdown": 1.0}),
+        ]
+        failures = exp.check(_result("sec742", rows))
+        assert any("fftz2" in f for f in failures)
+
+
+class TestTable2Checks:
+    def test_detects_misclassification(self):
+        exp = get("table2")
+        rows = [
+            (
+                {"workload": "nas-lu", "recommendations": "-"},
+                {"write_intensive": 1.0, "sequential_writes": 0.0,
+                 "writes_before_fence": 0.0, "matches_paper": 0.0},
+            )
+        ]
+        failures = exp.check(_result("table2", rows))
+        assert any("nas-lu" in f for f in failures)
+
+    def test_detects_wrong_recommendation(self):
+        exp = get("table2")
+        rows = [
+            (
+                {"workload": "nas-ft", "recommendations": "fftz2->clean"},
+                {"write_intensive": 1.0, "sequential_writes": 1.0,
+                 "writes_before_fence": 0.0, "matches_paper": 1.0},
+            )
+        ]
+        failures = exp.check(_result("table2", rows))
+        assert any("fftz2" in f for f in failures)

@@ -1,0 +1,107 @@
+"""Unit tests for the experiment framework and the cheap experiments."""
+
+import pytest
+
+import repro.experiments  # noqa: F401  (registers everything)
+from repro.errors import ExperimentError
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentResult,
+    SeriesRow,
+    all_ids,
+    get,
+    register,
+)
+
+PAPER_IDS = {
+    "table1",
+    "table2",
+    "fig3",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "x9",
+    "listing3",
+    "sec741",
+    "sec742",
+}
+
+ABLATION_IDS = {"abl-replacement", "abl-combiner", "abl-ycsb-mixes", "abl-granularity"}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(all_ids()) == PAPER_IDS | ABLATION_IDS
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ExperimentError):
+            get("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(Experiment):
+            id = "table1"
+
+            def run(self, fast=True, seed=1234):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ExperimentError):
+            register(Dup)
+
+    def test_non_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            register(dict)
+
+    def test_all_experiments_have_claims(self):
+        for eid in all_ids():
+            exp = get(eid)
+            assert exp.title and exp.paper_claim
+
+
+class TestResultHelpers:
+    def _result(self):
+        rows = [
+            SeriesRow({"x": 1}, {"y": 2.0}),
+            SeriesRow({"x": 2}, {"y": 4.0}),
+        ]
+        return ExperimentResult("t", "title", "claim", rows)
+
+    def test_rows_where(self):
+        result = self._result()
+        assert len(result.rows_where(x=1)) == 1
+        assert result.rows_where(x=3) == []
+
+    def test_metric_access(self):
+        row = SeriesRow({"x": 1}, {"y": 2.0})
+        assert row.metric("y") == 2.0
+        with pytest.raises(ExperimentError):
+            row.metric("z")
+
+    def test_table_and_render(self):
+        text = self._result().render()
+        assert "claim" in text and "4.000" in text
+
+
+class TestCheapExperiments:
+    """Full runs of the experiments cheap enough for the unit suite."""
+
+    def test_table1_passes_checks(self):
+        result = get("table1").run_checked(fast=True)
+        assert not [n for n in result.notes if n.startswith("SHAPE")]
+
+    def test_listing3_passes_checks(self):
+        result = get("listing3").run_checked(fast=True)
+        assert not [n for n in result.notes if n.startswith("SHAPE")]
+        clean = result.rows_where(variant="clean")[0]
+        assert clean.metric("slowdown") > 20
+
+    def test_x9_passes_checks(self):
+        result = get("x9").run_checked(fast=True)
+        assert not [n for n in result.notes if n.startswith("SHAPE")]
+        for row in result.rows:
+            assert row.metric("latency_reduction_pct") > 0

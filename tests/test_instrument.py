@@ -1,0 +1,103 @@
+"""Unit tests for the step-2/3 instrumenter driver."""
+
+import math
+
+import pytest
+
+from repro.dirtbuster.instrument import Instrumenter
+from repro.dirtbuster.trace import AccessRecord
+from repro.errors import AnalysisError, ReproError
+from repro.sim.event import CodeSite, EventKind
+
+
+def _rec(kind, addr=0, size=8, fn="f", idx=0, core=0, chain=()):
+    return AccessRecord(
+        instr_index=idx,
+        core_id=core,
+        kind=kind,
+        addr=addr,
+        size=size,
+        site=CodeSite(function=fn),
+        callchain=tuple(CodeSite(function=c) for c in chain),
+    )
+
+
+class TestInstrumenter:
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(AnalysisError):
+            Instrumenter(line_size=0)
+
+    def test_sequential_writer_pattern(self):
+        inst = Instrumenter(line_size=64)
+        records = [
+            _rec(EventKind.WRITE, addr=64 * i, size=64, idx=i) for i in range(32)
+        ]
+        inst.feed(records)
+        patterns = {p.function: p for p in inst.patterns()}
+        assert patterns["f"].pct_sequential == 1.0
+        assert patterns["f"].buckets[0].size == 32 * 64
+
+    def test_memcpy_attributed_to_caller(self):
+        """Writes inside a helper belong to the instrumented caller."""
+        inst = Instrumenter(line_size=64, functions={"put"})
+        records = [
+            _rec(EventKind.WRITE, addr=64 * i, size=64, fn="memcpy", idx=i, chain=("put",))
+            for i in range(8)
+        ]
+        inst.feed(records)
+        patterns = {p.function: p for p in inst.patterns()}
+        assert "put" in patterns and "memcpy" not in patterns
+        assert patterns["put"].total_writes == 8
+
+    def test_unselected_functions_ignored(self):
+        inst = Instrumenter(line_size=64, functions={"hot"})
+        inst.feed([_rec(EventKind.WRITE, fn="cold", size=64)])
+        assert inst.patterns() == []
+
+    def test_fence_distance_flows_through(self):
+        inst = Instrumenter(line_size=64)
+        inst.feed(
+            [
+                _rec(EventKind.WRITE, addr=0, size=64, idx=100),
+                _rec(EventKind.ATOMIC, addr=4096, size=8, fn="lock", idx=110),
+            ]
+        )
+        patterns = {p.function: p for p in inst.patterns()}
+        assert patterns["f"].fences.min_distance == 10
+
+    def test_reread_distance_per_bucket(self):
+        inst = Instrumenter(line_size=64)
+        records = []
+        for i in range(8):
+            records.append(_rec(EventKind.WRITE, addr=64 * i, size=64, idx=i))
+        records.append(_rec(EventKind.READ, addr=0, size=8, idx=20))
+        inst.feed(records)
+        pattern = inst.patterns()[0]
+        assert pattern.buckets[0].reread == 20  # first write at idx 0
+        assert math.isinf(pattern.buckets[0].rewrite)
+
+    def test_patterns_sorted_by_write_volume(self):
+        inst = Instrumenter(line_size=64)
+        records = [_rec(EventKind.WRITE, addr=64 * i, size=64, fn="big", idx=i) for i in range(16)]
+        records += [
+            _rec(EventKind.WRITE, addr=100_000 + 64 * i, size=64, fn="small", idx=100 + i)
+            for i in range(4)
+        ]
+        inst.feed(records)
+        assert [p.function for p in inst.patterns()] == ["big", "small"]
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro import errors
+
+        for name in (
+            "ConfigurationError",
+            "SimulationError",
+            "AllocationError",
+            "TraceError",
+            "AnalysisError",
+            "WorkloadError",
+            "ExperimentError",
+        ):
+            assert issubclass(getattr(errors, name), ReproError)

@@ -1,0 +1,197 @@
+"""Functional tests: the KV stores must behave like dicts while
+emitting the simulated memory traffic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.prestore import PatchConfig, PrestoreMode
+from repro.errors import WorkloadError
+from repro.workloads.kv.clht import CLHTStore, CLHTWorkload, SLOTS_PER_BUCKET
+from repro.workloads.kv.masstree import FANOUT, MasstreeStore, MasstreeWorkload
+from repro.workloads.kv.values import ValuePool, craft_value
+from repro.workloads.kv.ycsb import YCSBSpec
+from repro.workloads.memapi import Allocator, Program, ThreadCtx
+
+
+def _ctx(line=64):
+    return ThreadCtx(tid=0, allocator=Allocator(line), line_size=line, seed=9)
+
+
+def _drain(gen):
+    return list(gen)
+
+
+class TestValuePool:
+    def test_fresh_slots_first_then_recycling(self):
+        pool = ValuePool(Allocator(64), slots=4, value_size=64)
+        first = [pool.alloc() for _ in range(4)]
+        assert sorted(first) == [0, 1, 2, 3]
+        pool.free(first[0])
+        pool.free(first[1])
+        assert pool.alloc() == first[0]  # FIFO recycling
+        assert pool.alloc() == first[1]
+
+    def test_fresh_order_is_shuffled(self):
+        pool = ValuePool(Allocator(64), slots=64, value_size=64)
+        order = [pool.alloc() for _ in range(64)]
+        assert order != sorted(order)
+
+    def test_exhaustion_raises(self):
+        pool = ValuePool(Allocator(64), slots=1, value_size=64)
+        pool.alloc()
+        with pytest.raises(WorkloadError):
+            pool.alloc()
+
+    def test_addr_bounds(self):
+        pool = ValuePool(Allocator(64), slots=2, value_size=128)
+        assert pool.addr(1) == pool.addr(0) + 128 or pool.addr(1) != pool.addr(0)
+        with pytest.raises(WorkloadError):
+            pool.addr(5)
+
+    def test_craft_value_modes(self):
+        t = _ctx()
+        pool = ValuePool(t.allocator, slots=4, value_size=256)
+        slot = pool.alloc()
+        plain = _drain(craft_value(t, pool, slot, PrestoreMode.NONE))
+        cleaned = _drain(craft_value(t, pool, slot, PrestoreMode.CLEAN))
+        skipped = _drain(craft_value(t, pool, slot, PrestoreMode.SKIP))
+        assert len(cleaned) == len(plain) + 1  # the prestore call
+        assert all(ev.nontemporal for ev in skipped if ev.kind.value == "write")
+        assert all(ev.site.function == "craft_value" for ev in plain)
+
+
+class TestCLHTStore:
+    def _store(self, buckets=16, slots=64, vsize=64):
+        alloc = Allocator(64)
+        pool = ValuePool(alloc, slots=slots, value_size=vsize)
+        return CLHTStore(alloc, num_buckets=buckets, value_pool=pool, line_size=64), pool
+
+    def test_put_get_roundtrip(self):
+        store, pool = self._store()
+        t = _ctx()
+        _drain(store.put(t, 42, PrestoreMode.NONE))
+        assert 42 in store.shadow
+        events = _drain(store.get(t, 42))
+        assert any(ev.kind.value == "read" for ev in events)
+
+    def test_overflow_chains_preserve_entries(self):
+        store, pool = self._store(buckets=1, slots=64)
+        t = _ctx()
+        for key in range(3 * SLOTS_PER_BUCKET):
+            _drain(store.put(t, key, PrestoreMode.NONE))
+        assert len(store.shadow) == 3 * SLOTS_PER_BUCKET
+
+    def test_put_reuses_slot_frees_old(self):
+        store, pool = self._store()
+        t = _ctx()
+        _drain(store.put(t, 1, PrestoreMode.NONE))
+        first = store.shadow[1]
+        _drain(store.put(t, 1, PrestoreMode.NONE))
+        assert store.shadow[1] != first  # new slot, old freed
+
+    def test_put_takes_bucket_lock(self):
+        store, pool = self._store()
+        t = _ctx()
+        events = _drain(store.put(t, 7, PrestoreMode.NONE))
+        atomics = [ev for ev in events if ev.kind.value == "atomic"]
+        assert len(atomics) == 2  # lock + unlock
+
+
+class TestMasstreeStore:
+    def _store(self, slots=512, vsize=64):
+        alloc = Allocator(64)
+        pool = ValuePool(alloc, slots=slots, value_size=vsize)
+        return MasstreeStore(alloc, pool, capacity_nodes=256), pool
+
+    def test_put_get_roundtrip(self):
+        store, pool = self._store()
+        t = _ctx()
+        _drain(store.put(t, 42, PrestoreMode.NONE))
+        assert store.lookup(42) == store.shadow[42]
+
+    def test_splits_keep_lookup_working(self):
+        store, pool = self._store()
+        t = _ctx()
+        keys = list(range(5 * FANOUT))
+        random.Random(2).shuffle(keys)
+        for key in keys:
+            _drain(store.put(t, key, PrestoreMode.NONE))
+        assert store.depth() >= 2
+        for key in keys:
+            assert store.lookup(key) == store.shadow[key]
+
+    def test_read_protocol_uses_load_fences(self):
+        store, pool = self._store()
+        store.preload(1, pool.alloc())
+        t = _ctx()
+        events = _drain(store.get(t, 1))
+        fences = [ev for ev in events if ev.kind.value == "fence"]
+        assert fences and all(ev.fence_scope == "load" for ev in fences)
+
+    def test_put_locks_leaf(self):
+        store, pool = self._store()
+        t = _ctx()
+        events = _drain(store.put(t, 9, PrestoreMode.NONE))
+        assert sum(1 for ev in events if ev.kind.value == "atomic") == 2
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["put", "del-ish", "get"]), st.integers(0, 40)),
+        max_size=120,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_masstree_matches_dict(ops):
+    """Property: Masstree's shadowed state equals a dict under random puts."""
+    alloc = Allocator(64)
+    pool = ValuePool(alloc, slots=4096, value_size=64)
+    store = MasstreeStore(alloc, pool, capacity_nodes=2048)
+    t = _ctx()
+    model = {}
+    for op, key in ops:
+        if op == "put":
+            _drain(store.put(t, key, PrestoreMode.NONE))
+            model[key] = store.shadow[key]
+        else:
+            assert store.lookup(key) == model.get(key)
+    assert store.shadow == model
+
+
+@given(keys=st.lists(st.integers(0, 200), max_size=150))
+@settings(max_examples=30, deadline=None)
+def test_clht_matches_dict(keys):
+    """Property: CLHT's shadow equals a dict after arbitrary puts."""
+    alloc = Allocator(64)
+    pool = ValuePool(alloc, slots=4096, value_size=64)
+    store = CLHTStore(alloc, num_buckets=16, value_pool=pool, line_size=64, max_overflow=64)
+    t = _ctx()
+    model = {}
+    for key in keys:
+        _drain(store.put(t, key, PrestoreMode.NONE))
+        model[key] = store.shadow[key]
+    assert store.shadow == model
+
+
+class TestKVWorkloads:
+    @pytest.mark.parametrize("cls", [CLHTWorkload, MasstreeWorkload])
+    def test_runs_on_machine_a(self, cls, tiny_machine_a):
+        spec = YCSBSpec(mix="A", num_keys=128, operations=120, value_size=128)
+        workload = cls(spec, threads=2)
+        result = workload.run(tiny_machine_a, PatchConfig.baseline())
+        assert result.run.work_items == 120
+
+    def test_modes_change_traffic(self, tiny_machine_a):
+        spec = YCSBSpec(mix="A", num_keys=256, operations=300, value_size=512)
+        runs = {}
+        for mode in (PrestoreMode.NONE, PrestoreMode.CLEAN):
+            w = CLHTWorkload(spec, threads=2)
+            runs[mode] = w.run(
+                tiny_machine_a, PatchConfig({w.SITE.name: mode})
+            ).run
+        assert (
+            runs[PrestoreMode.CLEAN].write_amplification
+            < runs[PrestoreMode.NONE].write_amplification
+        )

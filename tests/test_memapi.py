@@ -1,0 +1,159 @@
+"""Unit tests for the workload programming interface (memapi)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError, WorkloadError
+from repro.sim.event import EventKind
+from repro.sim.machine import machine_a
+from repro.workloads.memapi import Allocator, Program, Region, ThreadCtx
+
+
+def _ctx(line=64, seed=5):
+    return ThreadCtx(tid=0, allocator=Allocator(line), line_size=line, seed=seed)
+
+
+class TestAllocator:
+    def test_regions_are_disjoint_and_aligned(self):
+        alloc = Allocator(64)
+        regions = [alloc.alloc(100, f"r{i}") for i in range(50)]
+        for region in regions:
+            assert region.base % 64 == 0
+        spans = sorted((r.base, r.end) for r in regions)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2, "regions overlap"
+
+    def test_no_false_sharing(self):
+        alloc = Allocator(64)
+        a = alloc.alloc(8)
+        b = alloc.alloc(8)
+        assert a.base // 64 != b.base // 64
+
+    def test_explicit_alignment(self):
+        alloc = Allocator(64)
+        region = alloc.alloc(100, align=4096)
+        assert region.base % 4096 == 0
+
+    def test_rejects_bad_sizes(self):
+        alloc = Allocator(64)
+        with pytest.raises(AllocationError):
+            alloc.alloc(0)
+        with pytest.raises(AllocationError):
+            alloc.alloc(8, align=3)
+
+    def test_region_of(self):
+        alloc = Allocator(64)
+        region = alloc.alloc(128, "target")
+        assert alloc.region_of(region.base + 5) is region
+        assert alloc.region_of(0) is None
+
+
+class TestRegion:
+    def test_addr_bounds_checked(self):
+        region = Region(base=1024, size=64, label="r")
+        assert region.addr(0) == 1024
+        assert region.addr(63) == 1087
+        with pytest.raises(AllocationError):
+            region.addr(64)
+        with pytest.raises(AllocationError):
+            region.addr(-1)
+
+    def test_contains(self):
+        region = Region(base=1024, size=64, label="r")
+        assert 1024 in region and 1087 in region and 1088 not in region
+
+
+class TestThreadCtx:
+    def test_event_provenance(self):
+        t = _ctx()
+        with t.function("outer", file="a.c", line=1):
+            with t.function("inner", file="b.c", line=2):
+                ev = t.write(0, 8)
+        assert ev.site.function == "inner"
+        assert tuple(s.function for s in ev.callchain) == ("outer",)
+
+    def test_sites_are_interned(self):
+        t = _ctx()
+        with t.function("f", file="a.c", line=1):
+            ev1 = t.read(0, 8)
+        with t.function("f", file="a.c", line=1):
+            ev2 = t.read(0, 8)
+        assert ev1.site is ev2.site
+
+    def test_write_block_covers_range_exactly(self):
+        t = _ctx()
+        events = list(t.write_block(128, 300))
+        assert all(ev.kind is EventKind.WRITE for ev in events)
+        covered = sorted((ev.addr, ev.addr + ev.size) for ev in events)
+        assert covered[0][0] == 128
+        assert covered[-1][1] == 428
+        for (s1, e1), (s2, e2) in zip(covered, covered[1:]):
+            assert e1 == s2
+
+    def test_memcpy_interleaves_reads_and_writes(self):
+        t = _ctx()
+        events = list(t.memcpy(dst=4096, src=0, size=128))
+        kinds = [ev.kind for ev in events]
+        assert kinds == [EventKind.READ, EventKind.WRITE] * 2
+
+    def test_nontemporal_flag_propagates(self):
+        t = _ctx()
+        events = list(t.write_block(0, 128, nontemporal=True))
+        assert all(ev.nontemporal for ev in events)
+
+    def test_rng_is_seeded_per_thread(self):
+        a = _ctx(seed=1).rng.random()
+        b = _ctx(seed=1).rng.random()
+        c = _ctx(seed=2).rng.random()
+        assert a == b != c
+
+
+class TestProgram:
+    def test_work_items_flow_into_result(self):
+        program = Program(machine_a())
+
+        def body(t):
+            yield t.compute(10)
+            program.add_work(3)
+
+        program.spawn(body)
+        result = program.run()
+        assert result.work_items == 3
+
+    def test_run_requires_threads(self):
+        program = Program(machine_a())
+        with pytest.raises(WorkloadError):
+            program.run()
+
+    def test_threads_interleave_by_time(self):
+        """The slow thread must not run to completion before the fast one."""
+        program = Program(machine_a())
+        order = []
+
+        def slow(t):
+            for i in range(10):
+                yield t.compute(1000)
+                order.append(("slow", i))
+
+        def fast(t):
+            for i in range(10):
+                yield t.compute(10)
+                order.append(("fast", i))
+
+        program.spawn(slow)
+        program.spawn(fast)
+        program.run()
+        # All fast iterations happen before the second slow iteration.
+        slow_second = order.index(("slow", 1))
+        fast_positions = [i for i, (who, _) in enumerate(order) if who == "fast"]
+        assert all(p < slow_second for p in fast_positions)
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=5000), min_size=1, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_allocator_never_overlaps(sizes):
+    alloc = Allocator(64)
+    regions = [alloc.alloc(size) for size in sizes]
+    spans = sorted((r.base, r.end) for r in regions)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2

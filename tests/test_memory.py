@@ -1,0 +1,140 @@
+"""Unit tests for memory device models and the write combiner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.memory import (
+    DeviceSpec,
+    MemoryDevice,
+    WriteCombiner,
+    cxl_ssd_spec,
+    dram_spec,
+    fpga_spec,
+    optane_pmem_spec,
+)
+
+
+class TestDeviceSpec:
+    def test_validation_rejects_non_power_of_two_granularity(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec("x", 10, 10, 192, 1.0).validate()
+
+    def test_validation_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec("x", 10, 10, 256, 0.0).validate()
+
+    def test_presets_are_valid(self):
+        for spec in (dram_spec(), optane_pmem_spec(), cxl_ssd_spec(256), fpga_spec(60, 5.0)):
+            spec.validate()
+
+    def test_cxl_granularity_choices(self):
+        assert cxl_ssd_spec(512).internal_granularity == 512
+        with pytest.raises(ConfigurationError):
+            cxl_ssd_spec(128)
+
+    def test_table1_granularities(self):
+        assert dram_spec().internal_granularity == 64
+        assert optane_pmem_spec().internal_granularity == 256
+
+
+class TestWriteCombiner:
+    def test_sequential_lines_merge(self):
+        wc = WriteCombiner(granularity=256, entries=8)
+        closed = sum(wc.add(addr, 64) for addr in range(0, 256, 64))
+        assert closed == 0
+        assert wc.open_entries == 1
+        assert wc.flush() == 1
+
+    def test_scattered_lines_thrash(self):
+        wc = WriteCombiner(granularity=256, entries=2)
+        closed = 0
+        for i in range(8):
+            closed += wc.add(i * 4096, 64)  # all distinct blocks
+        assert closed == 6  # capacity 2 retained
+        assert wc.flush() == 2
+
+    def test_write_spanning_blocks(self):
+        wc = WriteCombiner(granularity=256, entries=8)
+        wc.add(128, 256)  # touches blocks 0 and 1
+        assert wc.open_entries == 2
+
+
+class TestMemoryDevice:
+    def test_sequential_writebacks_no_amplification(self):
+        dev = MemoryDevice(optane_pmem_spec())
+        for addr in range(0, 64 * 1024, 64):
+            dev.write_back(addr, 64, now=0.0)
+        dev.flush(0.0)
+        assert dev.write_amplification() == pytest.approx(1.0, abs=0.05)
+
+    def test_scattered_writebacks_amplify_4x(self):
+        dev = MemoryDevice(optane_pmem_spec())
+        # One 64B line per 256B block, far apart: worst case.
+        for i in range(1000):
+            dev.write_back(i * 4096, 64, now=0.0)
+        dev.flush(0.0)
+        assert dev.write_amplification() == pytest.approx(4.0, abs=0.1)
+
+    def test_dram_never_amplifies(self):
+        dev = MemoryDevice(dram_spec())
+        for i in range(1000):
+            dev.write_back(i * 4096, 64, now=0.0)
+        dev.flush(0.0)
+        assert dev.write_amplification() == pytest.approx(1.0)
+
+    def test_backlog_grows_with_writes(self):
+        dev = MemoryDevice(optane_pmem_spec())
+        assert dev.backlog(0.0) == 0.0
+        for i in range(100):
+            dev.write_back(i * 4096, 64, now=0.0)
+        assert dev.backlog(0.0) > 0.0
+        assert dev.backlog(1e9) == 0.0  # fully drained far in the future
+
+    def test_read_pays_latency(self):
+        dev = MemoryDevice(optane_pmem_spec())
+        done = dev.read(0, 64, now=100.0)
+        assert done >= 100.0 + dev.spec.read_latency
+
+    def test_read_buffer_absorbs_same_block(self):
+        dev = MemoryDevice(optane_pmem_spec())
+        first = dev.read(0, 64, now=0.0)
+        again = dev.read(64, 64, now=first)  # same 256B block
+        other = dev.read(1 << 20, 64, now=first)
+        assert (again - first) <= (other - first)
+
+    def test_quiesce_time_reflects_queue(self):
+        dev = MemoryDevice(optane_pmem_spec())
+        assert dev.quiesce_time(5.0) == 5.0
+        for i in range(100):
+            dev.write_back(i * 4096, 64, now=0.0)
+        assert dev.quiesce_time(0.0) > 0.0
+
+    def test_directory_latency_device_resident(self):
+        assert MemoryDevice(optane_pmem_spec()).directory_latency > 0
+        assert MemoryDevice(dram_spec()).directory_latency == 0
+
+
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10_000), st.sampled_from([64, 128, 256])),
+        min_size=1,
+        max_size=300,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_write_amplification_bounds(writes):
+    """Property: 64B-aligned writeback streams amplify between ~1x and 4x."""
+    dev = MemoryDevice(optane_pmem_spec())
+    for block, size in writes:
+        dev.write_back(block * 64, size, now=0.0)
+    dev.flush(0.0)
+    wa = dev.write_amplification()
+    assert wa <= 4.0 + 1e-9
+    # Media never writes less than one granularity per *distinct* block.
+    distinct_blocks = {
+        b
+        for block, size in writes
+        for b in range(block * 64 // 256, (block * 64 + size - 1) // 256 + 1)
+    }
+    assert dev.stats.media_bytes_written >= 256 * len(distinct_blocks)

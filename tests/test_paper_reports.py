@@ -1,0 +1,97 @@
+"""The paper's verbatim DirtBuster outputs, reproduced end to end.
+
+Section 7.2.1 prints DirtBuster's report for TensorFlow's evaluator:
+two size classes — big tensors never reused ("re-read inf - re-write
+inf") and 240B tensors re-read almost immediately ("re-read 2") — and a
+*clean* verdict.  Section 7.2.2 prints MG's psinv/resid reports.  These
+tests run the real pipeline and check the same structure comes out.
+"""
+
+import math
+
+import pytest
+
+from repro.core.prestore import PrestoreMode
+from repro.dirtbuster.runner import DirtBuster, DirtBusterConfig
+from repro.sim.machine import machine_a
+from repro.workloads.nas import MGWorkload
+from repro.workloads.tensorflow_sim import SMALL_TENSOR, TensorFlowWorkload
+
+
+@pytest.fixture(scope="module")
+def dirtbuster():
+    return DirtBuster(DirtBusterConfig(sampling_period=53))
+
+
+class TestTensorFlowReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        db = DirtBuster(DirtBusterConfig(sampling_period=53))
+        workload = TensorFlowWorkload(
+            batch_size=16, iterations=1, threads=2, large_tensor_kb=64
+        )
+        return db.analyze(workload, machine_a())
+
+    def test_evaluator_found_and_cleaned(self, report):
+        rec = report.recommendation_for("Eigen::TensorEvaluator::run")
+        assert rec is not None
+        assert rec.choice is PrestoreMode.CLEAN
+
+    def test_two_size_classes(self, report):
+        """Big tensors and small ~240B tensors re-read within a couple of
+        instructions, like the paper's report.  (Deviation from the
+        paper's "re-read inf" for the big class: our port's evalPacket
+        dependency — the very reason skipping backfires — makes the big
+        tensors look quickly re-read too; the function verdict is the
+        same.)"""
+        rec = report.recommendation_for("Eigen::TensorEvaluator::run")
+        buckets = rec.patterns.buckets
+        sizes = sorted(b.size for b in buckets)
+        assert sizes[0] <= 2 * SMALL_TENSOR  # the small class
+        assert sizes[-1] >= 16 * 1024  # the large class
+        small = min(buckets, key=lambda b: b.size)
+        large = max(buckets, key=lambda b: b.size)
+        assert small.reread <= 16  # "re-read 2" at our granularity
+        assert math.isinf(large.rewrite)  # written once per iteration
+
+    def test_location_is_the_paper_site(self, report):
+        rec = report.recommendation_for("Eigen::TensorEvaluator::run")
+        assert rec.patterns.file == "TensorExecutor.h"
+        assert rec.patterns.line == 272
+
+    def test_optimizer_not_recommended(self, report):
+        rec = report.recommendation_for("apply_gradient_descent")
+        if rec is not None:  # only when it crossed the store-share bar
+            assert rec.choice is PrestoreMode.NONE
+
+
+class TestMGReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        db = DirtBuster(DirtBusterConfig(sampling_period=53))
+        return db.analyze(MGWorkload(grid=32, iterations=2, threads=4), machine_a())
+
+    def test_resid_clean_psinv_skip(self, report):
+        resid = report.recommendation_for("resid")
+        psinv = report.recommendation_for("psinv")
+        assert resid is not None and resid.choice is PrestoreMode.CLEAN
+        assert psinv is not None and psinv.choice is PrestoreMode.SKIP
+
+    def test_both_fully_sequential(self, report):
+        """Paper: 'Perc. Seq. Writes: 100%' for both functions."""
+        for fn in ("resid", "psinv"):
+            rec = report.recommendation_for(fn)
+            assert rec.patterns.pct_sequential > 0.95
+
+    def test_locations_match_paper(self, report):
+        assert report.recommendation_for("resid").patterns.line == 544
+        assert report.recommendation_for("psinv").patterns.line == 614
+
+    def test_resid_reread_within_cache_horizon(self, report):
+        """Paper: re-read 23.8K instructions (finite, cache-resident)."""
+        resid = report.recommendation_for("resid")
+        assert resid.patterns.mean_reread < 100_000
+        psinv = report.recommendation_for("psinv")
+        assert psinv.patterns.mean_reread > 100_000 or math.isinf(
+            psinv.patterns.mean_reread
+        )

@@ -1,0 +1,121 @@
+"""Unit tests for the recommendation engine and paper-style reports."""
+
+import math
+
+import pytest
+
+from repro.core.prestore import PrestoreMode
+from repro.dirtbuster.contexts import SequentialContext, SequentialitySummary
+from repro.dirtbuster.distances import DistanceStats
+from repro.dirtbuster.fences import FenceProximity
+from repro.dirtbuster.instrument import BucketRow, FunctionPatterns
+from repro.dirtbuster.recommend import Recommender, Thresholds
+from repro.dirtbuster.report import format_distance, format_size, render_recommendation
+
+
+def _patterns(
+    pct_seq=1.0,
+    writes=1000,
+    rewrite=math.inf,
+    reread=math.inf,
+    fence_min=math.inf,
+    fence_cov=0.0,
+):
+    ctx = SequentialContext(start=0, end=int(4096 * pct_seq) or 1, writes=int(writes * pct_seq) or 1)
+    seq = SequentialitySummary(
+        function="f",
+        total_writes=writes,
+        sequential_writes=int(writes * pct_seq),
+        contexts=[ctx],
+    )
+    fences = FenceProximity(function="f", writes=writes)
+    fences.writes_before_fence = int(writes * fence_cov)
+    fences.min_distance = fence_min
+    dist = DistanceStats(function="f")
+    if not math.isinf(rewrite):
+        dist.rewrite_samples, dist.rewrite_sum = 10, rewrite * 10
+    if not math.isinf(reread):
+        dist.reread_samples, dist.reread_sum = 10, reread * 10
+    return FunctionPatterns(
+        function="f",
+        file="f.c",
+        line=42,
+        sequentiality=seq,
+        fences=fences,
+        distances=dist,
+        buckets=[BucketRow(size=4096, share=1.0, reread=reread, rewrite=rewrite)],
+    )
+
+
+class TestDecisionProcedure:
+    """The Section 6.2.3 branches, one test each."""
+
+    def setup_method(self):
+        self.rec = Recommender(Thresholds())
+
+    def test_no_pattern_means_no_prestore(self):
+        verdict = self.rec.recommend(_patterns(pct_seq=0.05))
+        assert verdict.choice is PrestoreMode.NONE
+        assert "neither sequential" in verdict.rationale
+
+    def test_hot_rewrite_means_no_prestore(self):
+        verdict = self.rec.recommend(_patterns(rewrite=50))
+        assert verdict.choice is PrestoreMode.NONE
+        assert "rewritten" in verdict.rationale
+
+    def test_rewritten_before_fence_means_demote(self):
+        verdict = self.rec.recommend(
+            _patterns(rewrite=5000, fence_min=20, fence_cov=0.9)
+        )
+        assert verdict.choice is PrestoreMode.DEMOTE
+
+    def test_rewritten_without_fence_falls_through(self):
+        verdict = self.rec.recommend(_patterns(rewrite=5000, reread=100))
+        assert verdict.choice is PrestoreMode.CLEAN
+
+    def test_reread_means_clean(self):
+        verdict = self.rec.recommend(_patterns(reread=23_800))
+        assert verdict.choice is PrestoreMode.CLEAN
+
+    def test_no_reuse_means_skip_with_clean_fallback(self):
+        verdict = self.rec.recommend(_patterns())
+        assert verdict.choice is PrestoreMode.SKIP
+        assert verdict.fallback is PrestoreMode.CLEAN
+
+    def test_reuse_beyond_horizon_is_no_reuse(self):
+        verdict = self.rec.recommend(_patterns(reread=10_000_000))
+        assert verdict.choice is PrestoreMode.SKIP
+
+    def test_fence_pattern_alone_qualifies(self):
+        verdict = self.rec.recommend(
+            _patterns(pct_seq=0.0, fence_min=10, fence_cov=0.9)
+        )
+        assert verdict.wants_prestore
+
+    def test_noise_floor(self):
+        verdict = self.rec.recommend(_patterns(writes=5))
+        assert verdict.choice is PrestoreMode.NONE
+
+
+class TestReportFormatting:
+    def test_format_size(self):
+        assert format_size(240) == "240B"
+        assert format_size(2150) == "2.1KB"
+        assert format_size(16_986_931) == "16.2MB"
+
+    def test_format_distance(self):
+        assert format_distance(2.0) == "2"
+        assert format_distance(23_800.0) == "23.8K"
+        assert format_distance(2_500_000.0) == "2.5M"
+        assert format_distance(math.inf) == "inf"
+
+    def test_render_matches_paper_shape(self):
+        rec = Recommender().recommend(_patterns(reread=23_800))
+        text = render_recommendation(rec)
+        assert "f()" in text
+        assert "Location: f.c line 42" in text
+        assert "Perc. Seq. Writes: 100%" in text
+        assert "Size: 4.0KB" in text
+        assert "re-read 23.8K" in text
+        assert "re-write inf" in text
+        assert "Pre-store choice: clean" in text

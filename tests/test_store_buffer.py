@@ -1,0 +1,125 @@
+"""Unit tests for store buffers and the two visibility disciplines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.store_buffer import StoreBuffer
+
+
+def _vis(latency=100):
+    return lambda line: latency
+
+
+class TestConstruction:
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ConfigurationError):
+            StoreBuffer(model="sc")
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            StoreBuffer(model="tso", capacity=0)
+
+
+class TestTSO:
+    def test_store_starts_visibility_immediately(self):
+        sb = StoreBuffer("tso")
+        sb.write(1, now=0.0, visibility=_vis(100))
+        entry = sb._pending[1]
+        assert entry.visible_time == pytest.approx(100.0)
+
+    def test_fence_finds_stores_visible(self):
+        sb = StoreBuffer("tso")
+        sb.write(1, now=0.0, visibility=_vis(100))
+        done = sb.drain(now=500.0, visibility=_vis(100))
+        assert done == pytest.approx(500.0)
+
+    def test_visibility_retires_in_order(self):
+        sb = StoreBuffer("tso")
+        sb.write(1, now=0.0, visibility=_vis(100))
+        sb.write(2, now=1.0, visibility=_vis(10))
+        assert sb._pending[2].visible_time >= sb._pending[1].visible_time
+
+    def test_prune_frees_slots(self):
+        sb = StoreBuffer("tso", capacity=4)
+        for line in range(4):
+            sb.write(line, now=float(line), visibility=_vis(10))
+        # Far in the future all entries are visible: writing prunes them.
+        sb.write(99, now=1000.0, visibility=_vis(10))
+        assert sb.occupancy() == 1
+
+
+class TestWeak:
+    def test_stores_park_until_fence(self):
+        sb = StoreBuffer("weak")
+        sb.write(1, now=0.0, visibility=_vis(100))
+        assert sb._pending[1].visible_time is None
+
+    def test_fence_pays_visibility(self):
+        sb = StoreBuffer("weak")
+        sb.write(1, now=0.0, visibility=_vis(100))
+        done = sb.drain(now=50.0, visibility=_vis(100))
+        assert done == pytest.approx(150.0)
+        assert sb.occupancy() == 0
+
+    def test_demote_starts_visibility_early(self):
+        sb = StoreBuffer("weak")
+        sb.write(1, now=0.0, visibility=_vis(100))
+        assert sb.demote(1, now=0.0, visibility=_vis(100)) is True
+        done = sb.drain(now=100.0, visibility=_vis(100))
+        assert done == pytest.approx(100.0)  # already visible at the fence
+
+    def test_demote_missing_line_returns_false(self):
+        sb = StoreBuffer("weak")
+        assert sb.demote(42, now=0.0, visibility=_vis()) is False
+
+    def test_demote_all(self):
+        sb = StoreBuffer("weak")
+        for line in range(5):
+            sb.write(line, now=0.0, visibility=_vis())
+        assert sb.demote_all(now=0.0, visibility=_vis()) == 5
+
+    def test_coalescing_same_line(self):
+        sb = StoreBuffer("weak")
+        sb.write(1, now=0.0, visibility=_vis())
+        sb.write(1, now=1.0, visibility=_vis())
+        assert sb.occupancy() == 1
+        assert sb.stats.coalesced == 1
+
+    def test_overflow_forces_oldest_visible(self):
+        sb = StoreBuffer("weak", capacity=2)
+        sb.write(1, now=0.0, visibility=_vis(100))
+        sb.write(2, now=1.0, visibility=_vis(100))
+        stall = sb.write(3, now=2.0, visibility=_vis(100))
+        assert stall > 0
+        assert sb.stats.overflow_drains == 1
+        assert 1 not in sb._pending
+
+    def test_evict_line_forgets_entry(self):
+        sb = StoreBuffer("weak")
+        sb.write(1, now=0.0, visibility=_vis())
+        sb.evict_line(1)
+        assert not sb.contains(1)
+
+    def test_forwarding_check(self):
+        sb = StoreBuffer("weak")
+        sb.write(1, now=0.0, visibility=_vis())
+        assert sb.contains(1)
+        assert not sb.contains(2)
+
+
+@given(
+    model=st.sampled_from(["tso", "weak"]),
+    lines=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=80),
+)
+@settings(max_examples=60, deadline=None)
+def test_drain_completes_at_or_after_now(model, lines):
+    """Property: a fence never completes in the past, and empties the buffer."""
+    sb = StoreBuffer(model, capacity=16)
+    now = 0.0
+    for line in lines:
+        now += 1.0
+        now += sb.write(line, now=now, visibility=_vis(50))
+    done = sb.drain(now=now, visibility=_vis(50))
+    assert done >= now
+    assert sb.occupancy() == 0

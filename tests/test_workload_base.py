@@ -1,0 +1,71 @@
+"""Unit tests for the Workload contract and experiment plumbing."""
+
+import pytest
+
+from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
+from repro.errors import WorkloadError
+from repro.experiments.common import (
+    MANUAL_MISUSE_SITES,
+    endorsed_patches,
+    patch_all_sites,
+    run_variants,
+)
+from repro.workloads.microbench import Listing1
+from repro.workloads.nas import FTWorkload
+
+
+class TestWorkloadContract:
+    def test_site_lookup(self):
+        workload = Listing1()
+        assert workload.site("listing1.element").function == "listing1_loop"
+        with pytest.raises(WorkloadError):
+            workload.site("nope")
+
+    def test_run_reports_patch_summary(self, tiny_machine_a):
+        workload = Listing1(element_size=256, num_elements=64, iterations=50)
+        result = workload.run(
+            tiny_machine_a, PatchConfig({"listing1.element": PrestoreMode.CLEAN})
+        )
+        assert "listing1.element=clean" in result.patch_summary
+        baseline = Listing1(element_size=256, num_elements=64, iterations=50).run(
+            tiny_machine_a
+        )
+        assert baseline.patch_summary == "baseline"
+
+    def test_same_seed_is_deterministic(self, tiny_machine_a):
+        def cycles():
+            w = Listing1(element_size=256, num_elements=64, iterations=100)
+            return w.run(tiny_machine_a, seed=77).run.cycles
+
+        assert cycles() == cycles()
+
+    def test_different_seed_differs(self, tiny_machine_a):
+        def cycles(seed):
+            w = Listing1(element_size=256, num_elements=64, iterations=100)
+            return w.run(tiny_machine_a, seed=seed).run.cycles
+
+        assert cycles(1) != cycles(2)
+
+
+class TestExperimentPatching:
+    def test_patch_all_sites(self):
+        workload = FTWorkload()
+        config = patch_all_sites(workload, PrestoreMode.CLEAN)
+        assert config.mode("ft.cffts1") is PrestoreMode.CLEAN
+        assert config.mode("ft.fftz2") is PrestoreMode.CLEAN
+
+    def test_endorsed_patches_skip_misuse_sites(self):
+        workload = FTWorkload()
+        config = endorsed_patches(workload, PrestoreMode.CLEAN)
+        assert config.mode("ft.cffts1") is PrestoreMode.CLEAN
+        assert config.mode("ft.fftz2") is PrestoreMode.NONE
+        assert "ft.fftz2" in MANUAL_MISUSE_SITES
+
+    def test_run_variants_covers_modes(self, tiny_machine_a):
+        results = run_variants(
+            lambda: Listing1(element_size=256, num_elements=64, iterations=60),
+            tiny_machine_a,
+            (PrestoreMode.NONE, PrestoreMode.CLEAN, PrestoreMode.SKIP),
+        )
+        assert set(results) == {PrestoreMode.NONE, PrestoreMode.CLEAN, PrestoreMode.SKIP}
+        assert all(r.cycles > 0 for r in results.values())

@@ -1,0 +1,80 @@
+"""Unit and property tests for the YCSB generator."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.kv.ycsb import (
+    OP_INSERT,
+    OP_READ,
+    OP_UPDATE,
+    YCSB_MIXES,
+    YCSBSpec,
+    ZipfianGenerator,
+)
+
+
+class TestZipfian:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            ZipfianGenerator(0)
+        with pytest.raises(WorkloadError):
+            ZipfianGenerator(10, theta=1.5)
+
+    def test_skew_favours_small_keys(self):
+        zipf = ZipfianGenerator(1000, rng=random.Random(1))
+        counts = Counter(zipf.next() for _ in range(20_000))
+        assert counts[0] > counts.get(500, 0)
+        assert counts[0] > 20_000 * 0.02  # the head is hot
+
+    def test_deterministic_with_seed(self):
+        a = ZipfianGenerator(100, rng=random.Random(7))
+        b = ZipfianGenerator(100, rng=random.Random(7))
+        assert [a.next() for _ in range(50)] == [b.next() for _ in range(50)]
+
+
+@given(n=st.integers(min_value=1, max_value=100_000), seed=st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_zipfian_in_range(n, seed):
+    zipf = ZipfianGenerator(n, rng=random.Random(seed))
+    for _ in range(50):
+        assert 0 <= zipf.next() < n
+
+
+class TestYCSBSpec:
+    def test_rejects_unknown_mix(self):
+        with pytest.raises(WorkloadError):
+            YCSBSpec(mix="Z")
+
+    @pytest.mark.parametrize("mix", sorted(YCSB_MIXES))
+    def test_mix_ratios_approximate(self, mix):
+        spec = YCSBSpec(mix=mix, num_keys=1000, operations=5000)
+        ops = Counter(op for op, _ in spec.operation_stream(random.Random(3)))
+        total = sum(ops.values())
+        read_frac, update_frac, insert_frac = YCSB_MIXES[mix]
+        assert ops.get(OP_READ, 0) / total == pytest.approx(read_frac, abs=0.03)
+        assert ops.get(OP_UPDATE, 0) / total == pytest.approx(update_frac, abs=0.03)
+        assert ops.get(OP_INSERT, 0) / total == pytest.approx(insert_frac, abs=0.03)
+
+    def test_concurrent_clients_insert_disjoint_keys(self):
+        spec = YCSBSpec(mix="D", num_keys=100, operations=2000)
+        inserted = [
+            {k for op, k in spec.operation_stream(random.Random(i), insert_start=100 + i, insert_stride=4) if op == OP_INSERT}
+            for i in range(4)
+        ]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not inserted[i] & inserted[j]
+
+    def test_mix_d_reads_recent_keys(self):
+        spec = YCSBSpec(mix="D", num_keys=1000, operations=4000, latest_window=32)
+        reads = [k for op, k in spec.operation_stream(random.Random(9)) if op == OP_READ]
+        assert reads, "mix D must read"
+        assert all(k >= 0 for k in reads)
+
+    def test_c_is_read_only(self):
+        spec = YCSBSpec(mix="C", num_keys=100, operations=500)
+        assert all(op == OP_READ for op, _ in spec.operation_stream(random.Random(1)))
