@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint sanitize
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Single lint entry point: the repo's own workload lint plus ruff/mypy
+# when installed (they are optional; missing tools are reported and
+# skipped so the target works in the bare test container).
+lint:
+	$(PYTHON) -m repro.sanitize --self
+
+sanitize:
+	$(PYTHON) -m repro.sanitize examples/quickstart.py

@@ -20,18 +20,26 @@ def make_body(clean: bool, element_size: int = 1024, iterations: int = 1500):
 
     def body(t):
         elements = t.alloc(512 * element_size, label="elements")
-        for _ in range(iterations):
-            idx = t.rng.randrange(512)
-            addr = elements.addr(idx * element_size)
-            # Write one element (sequential stores within the element)...
-            yield from t.write_block(addr, element_size)
-            if clean:
-                # ...and ask the CPU to write it back, in order, right now.
-                yield t.prestore(addr, element_size, PrestoreOp.CLEAN)
-            yield t.read(addr, 8)  # the re-read that keeps caching useful
-            yield t.compute(2000)
+        with t.function("quickstart_loop", file="quickstart.py", line=27):
+            for _ in range(iterations):
+                idx = t.rng.randrange(512)
+                addr = elements.addr(idx * element_size)
+                # Write one element (sequential stores within the element)...
+                yield from t.write_block(addr, element_size)
+                if clean:
+                    # ...and ask the CPU to write it back, in order, right now.
+                    yield t.prestore(addr, element_size, PrestoreOp.CLEAN)
+                yield t.read(addr, 8)  # the re-read that keeps caching useful
+                yield t.compute(2000)
 
     return body
+
+
+def build_program(spec=None, clean: bool = True) -> Program:
+    """An un-run Program — the hook ``python -m repro.sanitize`` looks for."""
+    program = Program(spec if spec is not None else machine_a())
+    program.spawn(make_body(clean))
+    return program
 
 
 def main() -> None:

@@ -33,18 +33,37 @@ Quickstart::
 
 from repro._version import __version__
 from repro.core import PatchConfig, PatchSite, PrestoreMode, PrestoreOp
-from repro.errors import ReproError
+from repro.errors import Diagnostic, ReproError, SanitizerError
 from repro.sim import machine_a, machine_b_fast, machine_b_slow, machine_dram
 
 __all__ = [
+    "Diagnostic",
     "PatchConfig",
     "PatchSite",
     "PrestoreMode",
     "PrestoreOp",
     "ReproError",
+    "Sanitizer",
+    "SanitizerError",
     "__version__",
     "machine_a",
     "machine_b_fast",
     "machine_b_slow",
     "machine_dram",
+    "sanitize",
 ]
+
+
+def __getattr__(name: str):
+    # ``sanitize`` pulls in the workload layer (which imports this
+    # package), so it is resolved lazily — same pattern repro.core uses
+    # for AutoTuner.
+    if name == "sanitize":
+        from repro.sanitize import sanitize
+
+        return sanitize
+    if name == "Sanitizer":
+        from repro.sanitize import Sanitizer
+
+        return Sanitizer
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

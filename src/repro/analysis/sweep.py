@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Iterable, List
 
 from repro.core.prestore import PatchConfig, PrestoreMode
 from repro.sim.machine import MachineSpec

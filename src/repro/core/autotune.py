@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.prestore import PatchConfig, PrestoreMode
-from repro.dirtbuster.runner import DirtBuster, DirtBusterConfig, DirtBusterReport
-from repro.errors import AnalysisError
+from repro.dirtbuster.runner import DirtBuster, DirtBusterReport
+from repro.errors import AnalysisError, Diagnostic
 from repro.sim.machine import MachineSpec
 from repro.sim.stats import RunResult
 from repro.workloads.base import Workload
@@ -38,6 +38,10 @@ class AutoTuneResult:
     patched: Optional[RunResult]
     #: True when the patches were kept (they helped).
     kept: bool
+    #: Sanitizer findings present in the patched run but not the baseline
+    #: (only populated with ``AutoTuner(sanitize=True)``); any entry
+    #: vetoes the patches regardless of speedup.
+    new_diagnostics: List[Diagnostic] = field(default_factory=list)
 
     @property
     def speedup(self) -> float:
@@ -46,10 +50,16 @@ class AutoTuneResult:
         return self.patched.drained_speedup_over(self.baseline)
 
     def summary(self) -> str:
-        if not self.adopted:
+        if not self.adopted and not self.new_diagnostics:
             return f"{self.workload}: no pre-store opportunities found"
         sites = ", ".join(f"{s}={m}" for s, m in sorted(self.adopted.items()))
-        verdict = "kept" if self.kept else "reverted (no gain)"
+        if self.kept:
+            verdict = "kept"
+        elif self.new_diagnostics:
+            verdict = f"reverted ({len(self.new_diagnostics)} new sanitizer finding(s))"
+            sites = sites or "candidate patches"
+        else:
+            verdict = "reverted (no gain)"
         return f"{self.workload}: {sites} -> {self.speedup:.2f}x ({verdict})"
 
 
@@ -66,12 +76,18 @@ class AutoTuner:
         dirtbuster: Optional[DirtBuster] = None,
         allow_skip: bool = True,
         min_speedup: float = 1.01,
+        sanitize: bool = False,
     ) -> None:
         if min_speedup <= 0:
             raise AnalysisError(f"min_speedup must be positive, got {min_speedup}")
         self.dirtbuster = dirtbuster or DirtBuster()
         self.allow_skip = allow_skip
         self.min_speedup = min_speedup
+        #: Run both measurement runs under :mod:`repro.sanitize`; candidate
+        #: patches introducing diagnostics absent from the baseline are
+        #: rejected even when they measure faster (a pre-store that breaks
+        #: consistency or recreates the Listing 3 pathology is not a win).
+        self.sanitize = sanitize
 
     # -- advice translation -----------------------------------------------
 
@@ -111,7 +127,9 @@ class AutoTuner:
         report = self.dirtbuster.analyze(probe, spec, seed=seed)
         patches = self.patches_for(probe, report)
         adopted = dict(patches.enabled_sites())
-        baseline = workload_factory().run(spec, PatchConfig.baseline(), seed=seed).run
+        baseline = workload_factory().run(
+            spec, PatchConfig.baseline(), seed=seed, sanitize=self.sanitize
+        ).run
         if not adopted:
             return AutoTuneResult(
                 workload=probe.name,
@@ -122,8 +140,12 @@ class AutoTuner:
                 patched=None,
                 kept=False,
             )
-        patched = workload_factory().run(spec, patches, seed=seed).run
-        kept = patched.drained_speedup_over(baseline) >= self.min_speedup
+        patched = workload_factory().run(spec, patches, seed=seed, sanitize=self.sanitize).run
+        new_diagnostics = self._new_diagnostics(baseline, patched) if self.sanitize else []
+        kept = (
+            not new_diagnostics
+            and patched.drained_speedup_over(baseline) >= self.min_speedup
+        )
         return AutoTuneResult(
             workload=probe.name,
             report=report,
@@ -132,4 +154,11 @@ class AutoTuner:
             baseline=baseline,
             patched=patched,
             kept=kept,
+            new_diagnostics=new_diagnostics,
         )
+
+    @staticmethod
+    def _new_diagnostics(baseline: RunResult, patched: RunResult) -> List[Diagnostic]:
+        """Findings of the patched run whose (rule, site) key is new."""
+        known = {d.key for d in baseline.diagnostics}
+        return [d for d in patched.diagnostics if d.key not in known]

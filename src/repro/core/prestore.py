@@ -33,7 +33,7 @@ demoted, or skipped from configuration alone.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
 from repro.errors import ConfigurationError

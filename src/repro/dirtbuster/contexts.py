@@ -16,7 +16,7 @@ scoping keeps threads from polluting each other's streams.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import AnalysisError
 

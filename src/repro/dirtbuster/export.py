@@ -9,9 +9,8 @@ full-size run and iterate on analysis thresholds offline.
 
 from __future__ import annotations
 
-import io
 import json
-from typing import IO, Iterable, Iterator, List, Union
+from typing import IO, Iterable, List, Union
 
 from repro.dirtbuster.trace import AccessRecord
 from repro.errors import TraceError

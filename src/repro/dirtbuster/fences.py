@@ -15,7 +15,7 @@ thread.  Writes never followed by a fence on their core contribute to
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 __all__ = ["FenceProximity", "FenceTracker"]

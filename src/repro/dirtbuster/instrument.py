@@ -9,7 +9,6 @@ re-read/re-write distances — and assembles one
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 

@@ -22,8 +22,7 @@ writes are shortly followed by fences; otherwise DirtBuster stays silent
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.prestore import PrestoreMode

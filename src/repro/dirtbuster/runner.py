@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.core.prestore import PatchConfig, PrestoreMode
+from repro.core.prestore import PatchConfig
 from repro.dirtbuster.instrument import FunctionPatterns, Instrumenter
 from repro.dirtbuster.recommend import Recommendation, Recommender, Thresholds
 from repro.dirtbuster.report import render_report

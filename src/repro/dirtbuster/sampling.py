@@ -15,7 +15,7 @@ instructions [...] We did not instrument these applications further"
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 

@@ -19,7 +19,7 @@ Both implement :class:`repro.sim.machine.Tracer` and attach to a machine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.errors import TraceError
 from repro.sim.event import CodeSite, Event, EventKind

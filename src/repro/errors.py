@@ -2,9 +2,64 @@
 
 Every error raised by :mod:`repro` derives from :class:`ReproError` so that
 callers can catch library failures without masking programming errors.
+
+This module also hosts the :class:`Diagnostic` record shared by every
+:mod:`repro.sanitize` pass.  It lives here (rather than in the sanitizer
+package) because it must be importable from anywhere — including the
+simulator and the workload layer — without creating import cycles.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Diagnostic severities, most severe first (the sort order reports use).
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding emitted by a :mod:`repro.sanitize` pass.
+
+    ``rule`` is a stable dotted identifier (``"race.visibility"``,
+    ``"prestore.hot-rewrite"``, ``"static.dropped-event"``); ``site`` and
+    ``related`` carry :class:`~repro.sim.event.CodeSite` provenance (typed
+    loosely to keep this module dependency-free).  ``count`` aggregates
+    repeated occurrences of the same (rule, site) pair.
+    """
+
+    rule: str
+    severity: str
+    message: str
+    #: Primary program location (a CodeSite, or None for file-level findings).
+    site: Optional[object] = None
+    #: Other involved locations, e.g. the racing partner access.
+    related: Tuple[object, ...] = ()
+    #: Example byte address, cache line, and executing core (dynamic passes).
+    addr: Optional[int] = None
+    cache_line: Optional[int] = None
+    core_id: Optional[int] = None
+    #: Retired-instruction index of the first occurrence.
+    instr_index: Optional[int] = None
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ConfigurationError(
+                f"diagnostic severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Stable identity for cross-run comparison (rule + primary site)."""
+        return (self.rule, str(self.site) if self.site is not None else "")
+
+    def format(self) -> str:
+        """One human-readable line: ``severity rule: message [at site]``."""
+        where = f" at {self.site}" if self.site is not None else ""
+        times = f" ({self.count}x)" if self.count > 1 else ""
+        return f"{self.severity}: {self.rule}: {self.message}{where}{times}"
 
 
 class ReproError(Exception):
@@ -47,3 +102,20 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment failed to produce the data it promised."""
+
+
+class SanitizerError(ReproError):
+    """A sanitizer pass found error-severity diagnostics.
+
+    Carries the offending :class:`Diagnostic` list so callers can render
+    the full report rather than just the summary message.
+    """
+
+    def __init__(self, diagnostics: Tuple[Diagnostic, ...] = (), message: str = "") -> None:
+        self.diagnostics = tuple(diagnostics)
+        errors = sum(1 for d in self.diagnostics if d.severity == "error")
+        summary = message or (
+            f"sanitizer found {errors} error diagnostic(s) "
+            f"({len(self.diagnostics)} total)"
+        )
+        super().__init__(summary)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable
 
 from repro.core.prestore import PatchConfig, PrestoreMode
 from repro.sim.machine import MachineSpec

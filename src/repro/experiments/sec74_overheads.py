@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.prestore import PatchConfig, PrestoreMode
-from repro.experiments.common import endorsed_patches, run_variants
+from repro.experiments.common import run_variants
 from repro.experiments.registry import Experiment, ExperimentResult, SeriesRow, register
 from repro.sim.machine import machine_a, machine_b_fast
 from repro.workloads.nas import FTWorkload, ISWorkload, MGWorkload, SPWorkload

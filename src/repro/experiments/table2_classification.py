@@ -7,7 +7,7 @@ classification bits plus the per-function recommendations.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.dirtbuster.runner import DirtBuster, DirtBusterConfig
 from repro.experiments.registry import Experiment, ExperimentResult, SeriesRow, register

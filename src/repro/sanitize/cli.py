@@ -1,0 +1,158 @@
+"""``python -m repro.sanitize`` — lint workload sources, sanitize runs.
+
+Targets are Python files or directories.  Every ``.py`` target gets the
+static AST pass; a *file* target additionally gets the dynamic passes
+when it exposes a ``build_program(spec) -> Program`` hook (the shape
+``examples/quickstart.py`` demonstrates) — the program is run on the
+selected machine with the race detector and pre-store lint attached.
+
+``--self`` lints this repository's own workload tree (``src/repro/
+workloads`` and ``examples``) and, when the optional ``ruff``/``mypy``
+toolchain is installed, runs those too — the single ``make lint`` entry
+point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import subprocess
+import sys
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import Diagnostic
+from repro.sanitize.report import render_report
+from repro.sanitize.runner import sanitize
+from repro.sim.machine import (
+    MachineSpec,
+    machine_a,
+    machine_b_fast,
+    machine_b_slow,
+    machine_dram,
+)
+
+__all__ = ["main"]
+
+_MACHINES: "dict[str, Callable[[], MachineSpec]]" = {
+    "a": machine_a,
+    "b-fast": machine_b_fast,
+    "b-slow": machine_b_slow,
+    "dram": machine_dram,
+}
+
+
+def _load_build_program(path: str) -> Optional[Callable[[MachineSpec], object]]:
+    """Import ``path`` as a module and return its ``build_program`` hook."""
+    name = "_repro_sanitize_target_" + os.path.splitext(os.path.basename(path))[0]
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:  # pragma: no cover - importlib edge
+        return None
+    module = importlib.util.module_from_spec(spec)
+    # Registered so dataclasses/pickle inside the target resolve the module.
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(name, None)
+    hook = getattr(module, "build_program", None)
+    return hook if callable(hook) else None
+
+
+def _repo_root() -> str:
+    # src/repro/sanitize/cli.py -> repository root three levels up from repro.
+    return os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))))
+
+
+def _self_paths() -> List[str]:
+    root = _repo_root()
+    candidates = [
+        os.path.join(root, "src", "repro", "workloads"),
+        os.path.join(root, "examples"),
+    ]
+    return [path for path in candidates if os.path.exists(path)]
+
+
+def _run_optional_tool(module: str, argv: Sequence[str]) -> Optional[int]:
+    """Run ruff/mypy if importable; None means not installed (skipped)."""
+    if importlib.util.find_spec(module) is None:
+        return None
+    completed = subprocess.run([sys.executable, "-m", module, *argv], cwd=_repo_root())
+    return completed.returncode
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sanitize",
+        description="memory-consistency sanitizer + pre-store misuse detector + workload lint",
+    )
+    parser.add_argument("targets", nargs="*", help="workload .py files or directories to check")
+    parser.add_argument(
+        "--self",
+        dest="self_check",
+        action="store_true",
+        help="lint this repository's workloads/examples (plus ruff/mypy when installed)",
+    )
+    parser.add_argument(
+        "--machine",
+        choices=sorted(_MACHINES),
+        default="b-fast",
+        help="machine preset for the dynamic passes (default: b-fast, the weak model)",
+    )
+    parser.add_argument("--seed", type=int, default=1234, help="simulation seed")
+    parser.add_argument(
+        "--static-only",
+        action="store_true",
+        help="skip the dynamic passes even when a target has build_program()",
+    )
+    args = parser.parse_args(argv)
+
+    targets = list(args.targets)
+    exit_code = 0
+    if args.self_check:
+        targets.extend(_self_paths())
+        for tool, tool_args in (("ruff", ["check", "src", "tests", "examples"]), ("mypy", ["src/repro/sanitize"])):
+            returncode = _run_optional_tool(tool, tool_args)
+            if returncode is None:
+                print(f"{tool}: not installed — skipped")
+            else:
+                print(f"{tool}: exit {returncode}")
+                exit_code = max(exit_code, returncode)
+    if not targets:
+        parser.error("no targets (pass files/directories or --self)")
+
+    spec_factory = _MACHINES[args.machine]
+    diagnostics: List[Diagnostic] = []
+    for target in targets:
+        if os.path.isdir(target):
+            diagnostics.extend(sanitize(paths=[target]))
+            continue
+        if not os.path.exists(target):
+            print(f"error: no such file: {target}", file=sys.stderr)
+            exit_code = max(exit_code, 2)
+            continue
+        build_program = None
+        if not args.static_only:
+            try:
+                build_program = _load_build_program(target)
+            except SyntaxError:
+                pass  # the static pass reports static.syntax-error itself
+            except Exception as exc:
+                print(f"{target}: import failed ({exc}); static pass only", file=sys.stderr)
+        if build_program is not None:
+            print(f"{target}: static + dynamic passes ({spec_factory().name})")
+            diagnostics.extend(
+                sanitize(build_program, spec_factory(), paths=[target], seed=args.seed)
+            )
+        else:
+            diagnostics.extend(sanitize(paths=[target]))
+
+    print()
+    print(render_report(diagnostics))
+    if any(d.severity == "error" for d in diagnostics):
+        exit_code = max(exit_code, 1)
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Paper-style rendering of sanitizer findings.
+
+The output mirrors the DirtBuster report blocks of Section 7 (function
+header, ``Location:`` line, one fact per line) so the two tools read as
+one suite::
+
+    error: race.visibility (3x)
+    listing2_loop()
+    Location: microbench.c line 120
+    Core 1 read line 0x4a2 @ instr 812
+    Partner: listing2_writer() microbench.c line 96
+    read observes stale data: ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.dirtbuster.report import format_distance
+from repro.errors import Diagnostic, SEVERITIES
+
+__all__ = ["render_diagnostic", "render_report", "summary_line"]
+
+
+def render_diagnostic(diag: Diagnostic) -> str:
+    """One report block for one finding."""
+    times = f" ({diag.count}x)" if diag.count > 1 else ""
+    lines = [f"{diag.severity}: {diag.rule}{times}"]
+    site = diag.site
+    if site is not None:
+        function = getattr(site, "function", None)
+        if function is not None:
+            lines.append(f"{function}()")
+            lines.append(f"Location: {getattr(site, 'file', '?')} line {getattr(site, 'line', 0)}")
+        else:
+            lines.append(f"Location: {site}")
+    facts: List[str] = []
+    if diag.core_id is not None:
+        facts.append(f"Core {diag.core_id}")
+    if diag.cache_line is not None:
+        facts.append(f"line {diag.cache_line:#x}")
+    if diag.instr_index is not None:
+        facts.append(f"@ instr {format_distance(float(diag.instr_index))}")
+    if facts:
+        lines.append(" ".join(facts))
+    for other in diag.related:
+        function = getattr(other, "function", None)
+        if function is not None:
+            lines.append(
+                f"Partner: {function}() {getattr(other, 'file', '?')} "
+                f"line {getattr(other, 'line', 0)}"
+            )
+        else:
+            lines.append(f"Partner: {other}")
+    lines.append(diag.message)
+    return "\n".join(lines)
+
+
+def summary_line(diagnostics: Sequence[Diagnostic]) -> str:
+    """``2 errors, 1 warning (4 occurrences)`` — or the all-clear."""
+    if not diagnostics:
+        return "sanitize: clean (no diagnostics)"
+    by_severity: Dict[str, int] = {}
+    occurrences = 0
+    for diag in diagnostics:
+        by_severity[diag.severity] = by_severity.get(diag.severity, 0) + 1
+        occurrences += diag.count
+    parts = [
+        f"{by_severity[sev]} {sev}{'s' if by_severity[sev] != 1 else ''}"
+        for sev in SEVERITIES
+        if sev in by_severity
+    ]
+    plural = "s" if occurrences != 1 else ""
+    return f"sanitize: {', '.join(parts)} ({occurrences} occurrence{plural})"
+
+
+def render_report(diagnostics: Iterable[Diagnostic]) -> str:
+    """Concatenated blocks plus the trailing summary line."""
+    diagnostics = list(diagnostics)
+    blocks = [render_diagnostic(d) for d in diagnostics]
+    blocks.append(summary_line(diagnostics))
+    return "\n\n".join(blocks)

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.sim.replacement import ReplacementPolicy, TrueLRU
+from repro.sim.replacement import ReplacementPolicy
 
 __all__ = ["CacheLevelSpec", "CacheStats", "CacheLevel", "Eviction", "CacheHierarchy"]
 

@@ -117,6 +117,12 @@ class Event:
     op: Optional[PrestoreOp] = None
     #: True for non-temporal ("cache skipping") stores.
     nontemporal: bool = False
+    #: True for intentionally unsynchronised accesses (CLHT's lock-free
+    #: bucket reads, Masstree's version-validated node reads).  Purely an
+    #: annotation for :mod:`repro.sanitize` — the machine executes
+    #: relaxed accesses exactly like plain ones; the race detector treats
+    #: them like C11 atomics and does not report races involving them.
+    relaxed: bool = False
     #: For FENCE events: "full" drains the store buffer, "load" only
     #: orders reads (cheap).
     fence_scope: str = "full"
@@ -138,6 +144,8 @@ class Event:
             raise SimulationError("prestore event requires an op (DEMOTE or CLEAN)")
         if self.nontemporal and self.kind is not EventKind.WRITE:
             raise SimulationError("only WRITE events can be non-temporal")
+        if self.relaxed and self.kind not in (EventKind.READ, EventKind.WRITE):
+            raise SimulationError("only READ/WRITE events can be marked relaxed")
         if self.kind in (EventKind.POST, EventKind.WAIT) and self.mailbox is None:
             raise SimulationError(f"{self.kind.value} event requires a mailbox")
 

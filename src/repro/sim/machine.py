@@ -22,8 +22,8 @@ seconds; all experiments report relative numbers (see DESIGN.md §1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.cache import CacheHierarchy, CacheLevel, CacheLevelSpec
@@ -110,7 +110,12 @@ class MachineSpec:
 class Machine:
     """A live simulated platform: caches + device + cores + scheduler."""
 
-    def __init__(self, spec: MachineSpec, tracer: Optional[Tracer] = None) -> None:
+    def __init__(
+        self,
+        spec: MachineSpec,
+        tracer: Optional[Tracer] = None,
+        sanitizer: Optional[Tracer] = None,
+    ) -> None:
         spec.validate()
         self.spec = spec
         self.line_size = spec.line_size
@@ -137,6 +142,21 @@ class Machine:
         self.tracer = tracer
         self._instr_index = 0
         self._finished = False
+        #: Optional second subscriber: a :class:`repro.sanitize.Sanitizer`.
+        #: Kept separate from ``tracer`` so DirtBuster and the sanitizer
+        #: can observe the same run; ``None`` costs one comparison per event.
+        self.sanitizer: Optional[Tracer] = None
+        if sanitizer is not None:
+            self.attach_sanitizer(sanitizer)
+
+    def attach_sanitizer(self, sanitizer: Tracer) -> None:
+        """Subscribe a sanitizer before :meth:`run` (gives it machine access)."""
+        if self._finished:
+            raise SimulationError("cannot attach a sanitizer to a finished machine")
+        self.sanitizer = sanitizer
+        attach = getattr(sanitizer, "attach", None)
+        if attach is not None:
+            attach(self)
 
     # -- running --------------------------------------------------------------
 
@@ -179,8 +199,16 @@ class Machine:
                     entry[2] = event
                     continue
                 core.clock = max(core.clock, posted)
+                index = core.stats.instructions
                 self._instr_index += 1
                 core.stats.instructions += 1
+                # Satisfied WAITs are observable: the sanitizer's
+                # happens-before pass needs the post->wait edge (a plain
+                # tracer sees them too, weighted at zero cycles).
+                if self.tracer is not None:
+                    self.tracer.record(core.stats.core_id, event, index, 0.0)
+                if self.sanitizer is not None:
+                    self.sanitizer.record(core.stats.core_id, event, index, 0.0)
                 continue
             self.step(core, event)
         return self.finish()
@@ -194,6 +222,8 @@ class Machine:
         core.execute(event)
         if self.tracer is not None:
             self.tracer.record(core.stats.core_id, event, index, core.clock - before)
+        if self.sanitizer is not None:
+            self.sanitizer.record(core.stats.core_id, event, index, core.clock - before)
 
     def finish(self) -> RunResult:
         """Drain caches and devices, then snapshot statistics."""

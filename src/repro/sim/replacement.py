@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Any, List, Sequence
+from typing import Any, List
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError
 
 __all__ = [
     "ReplacementPolicy",

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.errors import Diagnostic
+
 __all__ = ["CoreStats", "RunResult"]
 
 
@@ -68,6 +70,9 @@ class RunResult:
     work_items: int = 0
     #: Free-form extra metrics workloads want to expose.
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Sanitizer findings for this run (empty unless a sanitizer was
+    #: attached via the ``sanitize=`` hooks; see :mod:`repro.sanitize`).
+    diagnostics: List["Diagnostic"] = field(default_factory=list)
 
     @property
     def write_amplification(self) -> float:

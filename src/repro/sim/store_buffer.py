@@ -23,9 +23,10 @@ Two disciplines are modelled:
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from repro.errors import ConfigurationError
 
@@ -88,6 +89,27 @@ class StoreBuffer:
 
     def pending_lines(self) -> List[int]:
         return list(self._pending)
+
+    def visibility_of(self, line: int) -> Optional[float]:
+        """Visibility horizon of a buffered store to ``line``.
+
+        Returns ``None`` when no store to ``line`` is buffered,
+        ``math.inf`` while the store is *parked* (its visibility round
+        trip has not started — only possible under the weak model), and
+        the absolute cycle it becomes globally visible otherwise.  This
+        is the introspection hook the memory-consistency sanitizer uses
+        to flag reads of another core's still-invisible store.
+        """
+        entry = self._pending.get(line)
+        if entry is None:
+            return None
+        if entry.visible_time is None:
+            return math.inf
+        return entry.visible_time
+
+    def parked_lines(self) -> List[int]:
+        """Lines whose buffered store has not started its round trip."""
+        return [e.line for e in self._pending.values() if e.visible_time is None]
 
     # -- the write path ------------------------------------------------------
 

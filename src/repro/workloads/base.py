@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.prestore import PatchConfig, PatchSite
 from repro.errors import WorkloadError
@@ -68,10 +68,15 @@ class Workload(ABC):
         patches: Optional[PatchConfig] = None,
         tracer: Optional[Tracer] = None,
         seed: int = 1234,
+        sanitize: "bool | Tracer" = False,
     ) -> WorkloadResult:
-        """Build a fresh program on ``spec`` and run to completion."""
+        """Build a fresh program on ``spec`` and run to completion.
+
+        ``sanitize`` opts into the :mod:`repro.sanitize` passes; findings
+        appear in ``result.run.diagnostics``.
+        """
         patches = patches or PatchConfig.baseline()
-        program = Program(spec, tracer=tracer, seed=seed)
+        program = Program(spec, tracer=tracer, seed=seed, sanitize=sanitize)
         self.spawn(program, patches)
         result = program.run()
         enabled = patches.enabled_sites()

@@ -16,15 +16,14 @@ slots).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
 from repro.errors import WorkloadError
 from repro.sim.event import Event
 from repro.workloads.base import Workload
 from repro.workloads.kv.values import ValuePool, craft_value
-from repro.workloads.kv.ycsb import OP_INSERT, OP_READ, OP_UPDATE, YCSBSpec
+from repro.workloads.kv.ycsb import OP_READ, YCSBSpec
 from repro.workloads.memapi import Allocator, Program, Region, ThreadCtx
 
 __all__ = ["CLHTStore", "CLHTWorkload"]
@@ -109,15 +108,20 @@ class CLHTStore:
     # -- operations (event generators) ---------------------------------------------
 
     def get(self, t: ThreadCtx, key: int) -> Iterator[Event]:
-        """GET: walk the bucket chain, then read the value."""
+        """GET: walk the bucket chain, then read the value.
+
+        GETs are lock-free by design (CLHT reads a bucket's snapshot
+        atomically), so the reads are ``relaxed``: they race with
+        concurrent PUTs on purpose.
+        """
         with t.function("clht_get", file="clht.c", line=143):
             bucket = self._buckets[self._hash(key)]
             while bucket is not None:
-                yield t.read(bucket.base, self.bucket_size)
+                yield t.read(bucket.base, self.bucket_size, relaxed=True)
                 yield t.compute(2 * SLOTS_PER_BUCKET)  # key comparisons
                 if key in bucket.entries:
                     slot = bucket.entries[key]
-                    yield t.read(self.values.addr(slot), self.values.value_size)
+                    yield t.read(self.values.addr(slot), self.values.value_size, relaxed=True)
                     return
                 bucket = bucket.overflow
 
@@ -136,7 +140,7 @@ class CLHTStore:
             bucket = self._buckets[self._hash(key)]
             yield t.compute(8)  # hash the key
             lock_addr = bucket.base  # the lock word heads the bucket line
-            yield t.read(bucket.base, self.bucket_size)
+            yield t.read(bucket.base, self.bucket_size, relaxed=True)  # optimistic
             yield t.compute(2 * SLOTS_PER_BUCKET)
             yield t.atomic(lock_addr, 8)  # lock (fence semantics)
             while True:

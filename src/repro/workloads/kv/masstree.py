@@ -168,14 +168,15 @@ class MasstreeStore:
         # Listing 7's fences: these order the version read against the
         # node reads — acquire (load) fences on ARM, which do not drain
         # the store buffer.  The crafted value's visibility is forced by
-        # the leaf lock's atomic.
-        yield t.read(node.version_addr, 8)  # v = node->readVersion()
+        # the leaf lock's atomic.  The reads are ``relaxed``: version
+        # validation makes this optimistic protocol racy by design.
+        yield t.read(node.version_addr, 8, relaxed=True)  # v = node->readVersion()
         yield t.fence(scope="load")
         addr, size = node.key_area
-        yield from t.read_block(addr, size)
+        yield from t.read_block(addr, size, relaxed=True)
         yield t.compute(4)  # binary search
         yield t.fence(scope="load")
-        yield t.read(node.version_addr, 8)  # node->versionChanged(v)?
+        yield t.read(node.version_addr, 8, relaxed=True)  # node->versionChanged(v)?
 
     # -- operations ---------------------------------------------------------------
 
@@ -190,7 +191,7 @@ class MasstreeStore:
             i = bisect.bisect_left(node.keys, key)
             if i < len(node.keys) and node.keys[i] == key:
                 slot = node.values[i]
-                yield t.read(self.values.addr(slot), self.values.value_size)
+                yield t.read(self.values.addr(slot), self.values.value_size, relaxed=True)
 
     def put(self, t: ThreadCtx, key: int, mode: PrestoreMode) -> Iterator[Event]:
         """Craft the value, then insert under Listing 7's protocol."""

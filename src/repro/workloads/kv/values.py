@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, Iterator, List, Optional
+from typing import Deque, Iterator
 
 from repro.core.prestore import PrestoreMode
 from repro.errors import WorkloadError

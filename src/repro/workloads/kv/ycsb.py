@@ -14,9 +14,8 @@ implementation) and the standard A-D operation mixes:
 
 from __future__ import annotations
 
-import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Tuple
 
 from repro.errors import WorkloadError

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from contextlib import contextmanager
-from typing import Callable, Dict, Generator, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.prestore import PrestoreOp
 from repro.errors import AllocationError, ConfigurationError, WorkloadError
@@ -159,17 +159,24 @@ class ThreadCtx:
 
     # -- single events ---------------------------------------------------------------
 
-    def read(self, addr: int, size: int = 8) -> Event:
+    def read(self, addr: int, size: int = 8, relaxed: bool = False) -> Event:
+        """A load; ``relaxed`` marks intentionally unsynchronised reads
+        (optimistic / version-validated protocols) for the sanitizer."""
         site, chain = self._provenance()
-        return Event(EventKind.READ, addr=addr, size=size, site=site, callchain=chain)
+        return Event(
+            EventKind.READ, addr=addr, size=size, relaxed=relaxed, site=site, callchain=chain
+        )
 
-    def write(self, addr: int, size: int = 8, nontemporal: bool = False) -> Event:
+    def write(
+        self, addr: int, size: int = 8, nontemporal: bool = False, relaxed: bool = False
+    ) -> Event:
         site, chain = self._provenance()
         return Event(
             EventKind.WRITE,
             addr=addr,
             size=size,
             nontemporal=nontemporal,
+            relaxed=relaxed,
             site=site,
             callchain=chain,
         )
@@ -218,13 +225,15 @@ class ThreadCtx:
             yield self.write(addr + offset, length, nontemporal=nontemporal)
             offset += length
 
-    def read_block(self, addr: int, size: int, chunk: Optional[int] = None) -> Iterator[Event]:
+    def read_block(
+        self, addr: int, size: int, chunk: Optional[int] = None, relaxed: bool = False
+    ) -> Iterator[Event]:
         """Sequential loads covering ``[addr, addr + size)``."""
         step = chunk or self.line_size
         offset = 0
         while offset < size:
             length = min(step, size - offset)
-            yield self.read(addr + offset, length)
+            yield self.read(addr + offset, length, relaxed=relaxed)
             offset += length
 
     def memcpy(self, dst: int, src: int, size: int) -> Iterator[Event]:
@@ -243,10 +252,33 @@ class ThreadCtx:
 
 
 class Program:
-    """Binds thread bodies to a machine and runs them to completion."""
+    """Binds thread bodies to a machine and runs them to completion.
 
-    def __init__(self, spec: MachineSpec, tracer: Optional[Tracer] = None, seed: int = 1234) -> None:
-        self.machine = Machine(spec, tracer=tracer)
+    ``sanitize`` opts into the :mod:`repro.sanitize` dynamic passes:
+    ``True`` attaches a default :class:`~repro.sanitize.Sanitizer`, or
+    pass a configured instance.  Off (the default) costs nothing — the
+    machine skips a ``None`` check per event.
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        tracer: Optional[Tracer] = None,
+        seed: int = 1234,
+        sanitize: "bool | Tracer" = False,
+    ) -> None:
+        sanitizer: Optional[Tracer] = None
+        if sanitize:
+            if sanitize is True:
+                # Imported lazily: repro.sanitize depends on this module's
+                # package via the dirtbuster distance machinery.
+                from repro.sanitize.runner import Sanitizer
+
+                sanitizer = Sanitizer()
+            else:
+                sanitizer = sanitize
+        self.machine = Machine(spec, tracer=tracer, sanitizer=sanitizer)
+        self.sanitizer = sanitizer
         self.allocator = Allocator(spec.line_size)
         self._seed = seed
         self._bodies: List[Iterator[Event]] = []
@@ -274,9 +306,17 @@ class Program:
         self.work_items += items
 
     def run(self) -> RunResult:
-        """Run all spawned threads; returns the machine's statistics."""
+        """Run all spawned threads; returns the machine's statistics.
+
+        When a sanitizer is attached its findings land in
+        :attr:`RunResult.diagnostics` (the run itself never raises).
+        """
         if not self._bodies:
             raise WorkloadError("spawn at least one thread before run()")
         result = self.machine.run(self._bodies)
         result.work_items = self.work_items
+        if self.sanitizer is not None:
+            diagnostics = getattr(self.sanitizer, "diagnostics", None)
+            if diagnostics is not None:
+                result.diagnostics = list(diagnostics())
         return result

@@ -14,10 +14,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Sequence
+from typing import Iterator, Sequence
 
-from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode, PrestoreOp
+from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
 from repro.errors import WorkloadError
 from repro.sim.event import Event
 from repro.workloads.base import Workload

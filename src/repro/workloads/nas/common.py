@@ -4,11 +4,11 @@ from __future__ import annotations
 
 from typing import Iterator, List, Sequence, Tuple
 
-from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
+from repro.core.prestore import PatchSite, PrestoreMode
 from repro.errors import WorkloadError
 from repro.sim.event import Event
 from repro.workloads.base import Workload
-from repro.workloads.memapi import Program, Region, ThreadCtx
+from repro.workloads.memapi import Region, ThreadCtx
 
 __all__ = ["Grid3D", "NASWorkload", "ELEM"]
 

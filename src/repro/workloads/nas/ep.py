@@ -6,7 +6,7 @@ into a ten-bin histogram.  Table 2: not write-intensive.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.core.prestore import PatchConfig
 from repro.sim.event import Event

@@ -17,7 +17,7 @@ from typing import Iterator, Sequence
 from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
 from repro.sim.event import Event
 from repro.workloads.memapi import Program, ThreadCtx
-from repro.workloads.nas.common import ELEM, Grid3D, NASWorkload
+from repro.workloads.nas.common import Grid3D, NASWorkload
 
 __all__ = ["FTWorkload"]
 

@@ -8,7 +8,7 @@ store-share filter rejects it.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.core.prestore import PatchConfig
 from repro.sim.event import Event

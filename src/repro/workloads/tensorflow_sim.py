@@ -24,13 +24,13 @@ evaluator's share of writes as the batch grows.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from typing import Iterator, Sequence
 
 from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
 from repro.errors import WorkloadError
 from repro.sim.event import Event
 from repro.workloads.base import Workload
-from repro.workloads.memapi import Program, Region, ThreadCtx
+from repro.workloads.memapi import Program, ThreadCtx
 
 __all__ = ["TensorFlowWorkload"]
 

@@ -103,16 +103,19 @@ class X9Workload(Workload):
             payload = self._payload_addr(ring, slot_stride, slot)
             with t.function("producer_fn", file="x9_bench.c", line=55):
                 yield t.compute(self.producer_work)  # produce the payload
+                if i >= self.ring_slots:
+                    # Spin until the consumer released this slot before
+                    # refilling it — without this order the fill races
+                    # with the consumer still reading the previous
+                    # message (caught by repro.sanitize).
+                    yield t.wait(mailbox, ("released", i - self.ring_slots))
             with t.function("fill_msg", file="x9.c", line=201):
                 yield from t.write_block(payload, self.message_size)
                 if mode.op is not None:
                     yield t.prestore(payload, self.message_size, mode.op)
             with t.function("x9_write_to_inbox", file="x9.c", line=255):
-                if i >= self.ring_slots:
-                    # Spin until the consumer released this slot, then
-                    # re-check its header (the consumer wrote it last, so
-                    # this read pulls the line across the machine).
-                    yield t.wait(mailbox, ("released", i - self.ring_slots))
+                # Re-check the slot header (the consumer wrote it last, so
+                # this read pulls the line across the machine).
                 yield t.read(self._header_addr(ring, slot_stride, slot), 8)
                 yield t.compute(6)  # bounds/sequence checks
                 yield t.atomic(self._header_addr(ring, slot_stride, slot), 8)

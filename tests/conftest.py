@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.sim.cache import CacheLevelSpec
-from repro.sim.machine import MachineSpec, machine_a, machine_b_fast, machine_b_slow
+from repro.sim.machine import MachineSpec
 from repro.sim.memory import dram_spec, fpga_spec, optane_pmem_spec
 
 

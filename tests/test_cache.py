@@ -1,6 +1,5 @@
 """Unit and property tests for caches and the inclusive hierarchy."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

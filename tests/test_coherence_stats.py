@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.coherence import VisibilityModel
-from repro.sim.memory import MemoryDevice, dram_spec, fpga_spec, optane_pmem_spec
+from repro.sim.memory import MemoryDevice, dram_spec, fpga_spec
 from repro.sim.stats import CoreStats, RunResult
 
 

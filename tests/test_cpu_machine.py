@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.prestore import PrestoreOp
-from repro.errors import ConfigurationError, SimulationError, WorkloadError
+from repro.errors import SimulationError, WorkloadError
 from repro.sim.event import Mailbox
 from repro.sim.machine import Machine
 from repro.workloads.memapi import Program
@@ -224,7 +224,7 @@ class TestCrossCoreTransfer:
             yield t.read(region.base, 8)
 
         program = Program(tiny_machine_b)
-        shared = program.allocator.alloc(128, "shared")
+        program.allocator.alloc(128, "shared")
         program.spawn(writer)
         program.spawn(reader)
         result = program.run()

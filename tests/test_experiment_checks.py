@@ -4,7 +4,6 @@ Each test feeds a synthetic *wrong* result into an experiment's
 ``check()`` and asserts it complains — guarding the guards.
 """
 
-import pytest
 
 from repro.experiments import get
 from repro.experiments.registry import ExperimentResult, SeriesRow

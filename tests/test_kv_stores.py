@@ -12,7 +12,7 @@ from repro.workloads.kv.clht import CLHTStore, CLHTWorkload, SLOTS_PER_BUCKET
 from repro.workloads.kv.masstree import FANOUT, MasstreeStore, MasstreeWorkload
 from repro.workloads.kv.values import ValuePool, craft_value
 from repro.workloads.kv.ycsb import YCSBSpec
-from repro.workloads.memapi import Allocator, Program, ThreadCtx
+from repro.workloads.memapi import Allocator, ThreadCtx
 
 
 def _ctx(line=64):

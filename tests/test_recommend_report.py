@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.core.prestore import PrestoreMode
 from repro.dirtbuster.contexts import SequentialContext, SequentialitySummary

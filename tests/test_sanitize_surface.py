@@ -1,0 +1,110 @@
+"""Import surface, CLI smoke, and the AutoTuner sanitizer gate."""
+
+import os
+import types
+
+import pytest
+
+import repro
+import repro.sanitize
+from repro.core.autotune import AutoTuner
+from repro.core.prestore import PrestoreMode
+from repro.dirtbuster.runner import DirtBuster
+from repro.errors import Diagnostic, SanitizerError
+from repro.sanitize.cli import main as sanitize_cli
+from repro.sim.event import CodeSite
+from repro.sim.machine import machine_a
+from repro.workloads.microbench import Listing3
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestImportSurface:
+    def test_sanitize_all_names_resolve(self):
+        for name in repro.sanitize.__all__:
+            assert getattr(repro.sanitize, name) is not None
+
+    def test_expected_names_exported(self):
+        expected = {
+            "Diagnostic",
+            "PrestoreLint",
+            "RaceDetector",
+            "Sanitizer",
+            "SanitizerError",
+            "StaticSanitizer",
+            "sanitize",
+            "static_check",
+        }
+        assert expected <= set(repro.sanitize.__all__)
+
+    def test_errors_reexported_from_repro(self):
+        assert repro.Diagnostic is Diagnostic
+        assert repro.SanitizerError is SanitizerError
+
+    def test_lazy_toplevel_exports(self):
+        # repro.Sanitizer / the sanitize entry point resolve via the
+        # package's lazy __getattr__ (a direct import would be a cycle).
+        assert getattr(repro, "Sanitizer") is repro.sanitize.Sanitizer
+        assert repro.__getattr__("sanitize") is repro.sanitize.sanitize
+        assert "Sanitizer" in repro.__all__ and "sanitize" in repro.__all__
+
+    def test_unknown_lazy_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_real_export
+
+    def test_diagnostic_key_is_stable(self):
+        site = CodeSite(function="f", file="x.c", line=3)
+        a = Diagnostic(rule="race.write-read", severity="error", message="m", site=site)
+        b = Diagnostic(rule="race.write-read", severity="error", message="other", site=site)
+        assert a.key == b.key
+
+
+class TestCliSmoke:
+    def test_static_only_quickstart_is_clean(self, capsys):
+        target = os.path.join(_REPO_ROOT, "examples", "quickstart.py")
+        exit_code = sanitize_cli([target, "--static-only"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_no_targets_is_an_error(self):
+        with pytest.raises(SystemExit):
+            sanitize_cli([])
+
+
+class _FakeDirtBuster(DirtBuster):
+    """Always recommends cleaning ``listing3_loop`` — the misadvice the
+    sanitizer gate exists to catch."""
+
+    def analyze(self, workload, spec, seed=1234):
+        recommendation = types.SimpleNamespace(
+            patterns=types.SimpleNamespace(function="listing3_loop"),
+            function="listing3_loop",
+            choice=PrestoreMode.CLEAN,
+            fallback=None,
+            wants_prestore=True,
+        )
+        return types.SimpleNamespace(
+            recommendation_for=lambda function: (
+                recommendation if function == "listing3_loop" else None
+            )
+        )
+
+
+class TestAutoTunerGate:
+    def test_new_diagnostics_veto_the_patches(self):
+        tuner = AutoTuner(dirtbuster=_FakeDirtBuster(), min_speedup=1e-9, sanitize=True)
+        result = tuner.tune(lambda: Listing3(iterations=1500), machine_a())
+        assert not result.kept
+        assert result.new_diagnostics, "hot-rewrite finding must veto the patch"
+        assert any(d.rule == "prestore.hot-rewrite" for d in result.new_diagnostics)
+        assert result.adopted == {}
+        assert "sanitizer finding" in result.summary()
+
+    def test_gate_off_keeps_fast_enough_patches(self):
+        # Without sanitize=True the same misadvice is only speed-gated:
+        # min_speedup=1e-9 accepts any ratio, so the patch is kept.
+        tuner = AutoTuner(dirtbuster=_FakeDirtBuster(), min_speedup=1e-9, sanitize=False)
+        result = tuner.tune(lambda: Listing3(iterations=1500), machine_a())
+        assert result.kept
+        assert result.new_diagnostics == []

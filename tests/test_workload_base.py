@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.prestore import PatchConfig, PatchSite, PrestoreMode
+from repro.core.prestore import PatchConfig, PrestoreMode
 from repro.errors import WorkloadError
 from repro.experiments.common import (
     MANUAL_MISUSE_SITES,
