@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint sanitize
+.PHONY: test lint sanitize obs-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,3 +14,15 @@ lint:
 
 sanitize:
 	$(PYTHON) -m repro.sanitize examples/quickstart.py
+
+# Telemetry smoke: run one workload with obs attached, produce a
+# Perfetto trace artifact under build/, validate it, then run the
+# end-to-end pipeline self-check.  CI uploads build/obs/ as an artifact.
+obs-demo:
+	mkdir -p build/obs
+	$(PYTHON) -m repro.obs run --workload listing1 --seed 7 \
+		--trace build/obs/listing1.trace.json --json build/obs/listing1.result.json
+	$(PYTHON) -c "import json; d = json.load(open('build/obs/listing1.trace.json')); \
+		assert d['traceEvents'], 'empty trace'; \
+		print('trace OK:', len(d['traceEvents']), 'events')"
+	$(PYTHON) -m repro.obs --self-check

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.timeline import Timeline
 from repro.sim.stats import RunResult
 
 __all__ = ["MediaCounters", "read_media_counters"]
@@ -32,6 +33,22 @@ class MediaCounters:
         if self.bytes_received == 0:
             return 1.0
         return self.media_bytes_written / self.bytes_received
+
+    @classmethod
+    def from_timeline(cls, timeline: Timeline) -> "MediaCounters":
+        """Integrate the sampled per-interval device bytes back to totals.
+
+        The :mod:`repro.obs` cross-check: for any run these integrals
+        must equal :func:`read_media_counters` of the same run's final
+        ``RunResult`` exactly (the sampler's tail sample captures the
+        end-of-run drain; ring-evicted samples stay counted in
+        ``Timeline.cumulative``).
+        """
+        return cls(
+            bytes_received=int(timeline.cumulative["device_bytes_received"]),
+            media_bytes_written=int(timeline.cumulative["device_media_bytes_written"]),
+            bytes_read=int(timeline.cumulative["device_bytes_read"]),
+        )
 
     def render(self) -> str:
         return (

@@ -42,6 +42,11 @@ class AutoTuneResult:
     #: (only populated with ``AutoTuner(sanitize=True)``); any entry
     #: vetoes the patches regardless of speedup.
     new_diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Per-candidate timeline aggregates keyed "baseline"/"patched"
+    #: (only populated with ``AutoTuner(obs=True)``): mean/peak write
+    #: bandwidth, store-buffer occupancy, hit rate, stall totals — the
+    #: *why* behind the speedup verdict (see ``Timeline.summary``).
+    candidate_metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -77,6 +82,7 @@ class AutoTuner:
         allow_skip: bool = True,
         min_speedup: float = 1.01,
         sanitize: bool = False,
+        obs: bool = False,
     ) -> None:
         if min_speedup <= 0:
             raise AnalysisError(f"min_speedup must be positive, got {min_speedup}")
@@ -88,6 +94,11 @@ class AutoTuner:
         #: rejected even when they measure faster (a pre-store that breaks
         #: consistency or recreates the Listing 3 pathology is not a win).
         self.sanitize = sanitize
+        #: Run both measurement runs under :mod:`repro.obs`; each
+        #: candidate's timeline summary lands in
+        #: :attr:`AutoTuneResult.candidate_metrics` and the timelines on
+        #: the ``RunResult``\ s, so a rejected patch can be diagnosed.
+        self.obs = obs
 
     # -- advice translation -----------------------------------------------
 
@@ -128,7 +139,7 @@ class AutoTuner:
         patches = self.patches_for(probe, report)
         adopted = dict(patches.enabled_sites())
         baseline = workload_factory().run(
-            spec, PatchConfig.baseline(), seed=seed, sanitize=self.sanitize
+            spec, PatchConfig.baseline(), seed=seed, sanitize=self.sanitize, obs=self.obs
         ).run
         if not adopted:
             return AutoTuneResult(
@@ -139,8 +150,11 @@ class AutoTuner:
                 baseline=baseline,
                 patched=None,
                 kept=False,
+                candidate_metrics=self._candidate_metrics(baseline, None),
             )
-        patched = workload_factory().run(spec, patches, seed=seed, sanitize=self.sanitize).run
+        patched = workload_factory().run(
+            spec, patches, seed=seed, sanitize=self.sanitize, obs=self.obs
+        ).run
         new_diagnostics = self._new_diagnostics(baseline, patched) if self.sanitize else []
         kept = (
             not new_diagnostics
@@ -155,7 +169,20 @@ class AutoTuner:
             patched=patched,
             kept=kept,
             new_diagnostics=new_diagnostics,
+            candidate_metrics=self._candidate_metrics(baseline, patched),
         )
+
+    @staticmethod
+    def _candidate_metrics(
+        baseline: RunResult, patched: Optional[RunResult]
+    ) -> Dict[str, Dict[str, float]]:
+        """Timeline summaries per candidate (empty without ``obs=True``)."""
+        metrics: Dict[str, Dict[str, float]] = {}
+        if baseline.timeline is not None:
+            metrics["baseline"] = baseline.timeline.summary()
+        if patched is not None and patched.timeline is not None:
+            metrics["patched"] = patched.timeline.summary()
+        return metrics
 
     @staticmethod
     def _new_diagnostics(baseline: RunResult, patched: RunResult) -> List[Diagnostic]:

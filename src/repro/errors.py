@@ -55,6 +55,54 @@ class Diagnostic:
         """Stable identity for cross-run comparison (rule + primary site)."""
         return (self.rule, str(self.site) if self.site is not None else "")
 
+    # -- serialisation ------------------------------------------------------
+
+    @staticmethod
+    def _site_to_dict(site: Optional[object]) -> Optional[dict]:
+        """CodeSite -> plain dict (duck-typed: this module stays cycle-free)."""
+        if site is None:
+            return None
+        return {
+            "function": getattr(site, "function", str(site)),
+            "file": getattr(site, "file", "<unknown>"),
+            "line": getattr(site, "line", 0),
+            "ip": getattr(site, "ip", 0),
+        }
+
+    @staticmethod
+    def _site_from_dict(d: Optional[dict]) -> Optional[object]:
+        if d is None:
+            return None
+        from repro.sim.event import CodeSite  # deferred: avoids import cycle
+
+        return CodeSite(
+            function=d["function"], file=d["file"], line=d["line"], ip=d["ip"]
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-data view for JSON archiving (see ``RunResult.to_json``)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "site": self._site_to_dict(self.site),
+            "related": [self._site_to_dict(s) for s in self.related],
+            "addr": self.addr,
+            "cache_line": self.cache_line,
+            "core_id": self.core_id,
+            "instr_index": self.instr_index,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Diagnostic":
+        data = dict(d)
+        data["site"] = cls._site_from_dict(data.get("site"))
+        data["related"] = tuple(
+            cls._site_from_dict(s) for s in data.get("related", ())
+        )
+        return cls(**data)
+
     def format(self) -> str:
         """One human-readable line: ``severity rule: message [at site]``."""
         where = f" at {self.site}" if self.site is not None else ""

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+import time
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.core.prestore import PatchConfig, PrestoreMode
+from repro.obs.log import get_logger, run_context
 from repro.sim.machine import MachineSpec
 from repro.sim.stats import RunResult
 from repro.workloads.base import Workload
@@ -15,6 +17,8 @@ __all__ = [
     "endorsed_patches",
     "MANUAL_MISUSE_SITES",
 ]
+
+_log = get_logger("experiments")
 
 #: Sites DirtBuster declines (Sections 5 and 7.4.2): patched only by the
 #: "incorrect manual use" experiments.
@@ -48,16 +52,39 @@ def run_variants(
     modes: Iterable[PrestoreMode],
     seed: int = 1234,
     endorsed_only: bool = True,
+    obs: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[PrestoreMode, RunResult]:
     """Run one workload configuration under several pre-store modes.
 
     ``make_workload`` is a zero-argument factory (a fresh instance per
     run keeps the runs independent).
+
+    Each variant run is timed and reported through the :mod:`repro.obs`
+    structured log (and ``progress``, when given — a callable receiving
+    one human-readable line per completed variant, which is how the
+    experiment CLI shows sweep progress).  ``obs=True`` additionally
+    attaches a fresh :class:`~repro.obs.ObsCollector` per run, leaving
+    each variant's sampled timeline on its ``RunResult.timeline``.
     """
     results: Dict[PrestoreMode, RunResult] = {}
-    for mode in modes:
+    modes = list(modes)
+    for i, mode in enumerate(modes):
         workload = make_workload()
         patch = endorsed_patches if endorsed_only else patch_all_sites
         config = PatchConfig.baseline() if mode is PrestoreMode.NONE else patch(workload, mode)
-        results[mode] = workload.run(spec, config, seed=seed).run
+        run_id = f"{workload.name}/{mode.value}/s{seed}"
+        started = time.perf_counter()
+        with run_context(run_id=run_id):
+            result = workload.run(spec, config, seed=seed, obs=obs).run
+        elapsed = time.perf_counter() - started
+        results[mode] = result
+        message = (
+            f"[{i + 1}/{len(modes)}] {workload.name} {mode.value} on {spec.name}: "
+            f"{result.cycles:,.0f} cycles, WA={result.write_amplification:.2f}x "
+            f"({elapsed:.2f}s wall)"
+        )
+        _log.info("%s", message)
+        if progress is not None:
+            progress(message)
     return results

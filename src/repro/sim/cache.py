@@ -68,7 +68,11 @@ class CacheStats:
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.accesses if self.accesses else 0.0
+        """Hits per access; NaN when the level was never accessed (see
+        the derived-ratio convention in :mod:`repro.sim.stats`)."""
+        if self.accesses == 0:
+            return float("nan")
+        return self.hits / self.accesses
 
 
 @dataclass(frozen=True)

@@ -115,6 +115,7 @@ class Machine:
         spec: MachineSpec,
         tracer: Optional[Tracer] = None,
         sanitizer: Optional[Tracer] = None,
+        observers: Sequence[Tracer] = (),
     ) -> None:
         spec.validate()
         self.spec = spec
@@ -139,24 +140,75 @@ class Machine:
         #: round trip (Section 4.2).  ``None`` = shared / at the point of
         #: unification (where demote pre-stores push data).
         self.line_owner: Dict[int, int] = {}
-        self.tracer = tracer
         self._instr_index = 0
         self._finished = False
-        #: Optional second subscriber: a :class:`repro.sanitize.Sanitizer`.
-        #: Kept separate from ``tracer`` so DirtBuster and the sanitizer
-        #: can observe the same run; ``None`` costs one comparison per event.
-        self.sanitizer: Optional[Tracer] = None
+        #: Every subscribed observer (DirtBuster tracers, sanitizers, obs
+        #: samplers), in attach order.  ``_dispatch`` is the hot-path
+        #: tuple mirror: an empty run costs one falsy check per event.
+        self._observers: List[Tracer] = []
+        self._dispatch: Tuple[Tracer, ...] = ()
+        self._tracer: Optional[Tracer] = None
+        self._sanitizer: Optional[Tracer] = None
+        if tracer is not None:
+            self.tracer = tracer
         if sanitizer is not None:
             self.attach_sanitizer(sanitizer)
+        for observer in observers:
+            self.attach_observer(observer)
+
+    # -- observers ------------------------------------------------------------
+
+    def attach_observer(self, observer: Tracer) -> None:
+        """Subscribe an observer before :meth:`run`.
+
+        Observers implement the :class:`Tracer` ``record`` interface and
+        may additionally define ``attach(machine)`` (called now, for
+        machine access) and ``finish(machine, result)`` (called once the
+        run's statistics are snapshotted).  Any number may be attached
+        simultaneously; they are invoked in attach order.
+        """
+        if self._finished:
+            raise SimulationError("cannot attach an observer to a finished machine")
+        attach = getattr(observer, "attach", None)
+        if attach is not None:
+            attach(self)
+        self._observers.append(observer)
+        self._dispatch = tuple(self._observers)
+
+    def detach_observer(self, observer: Tracer) -> None:
+        """Unsubscribe a previously attached observer (no-op if absent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+            self._dispatch = tuple(self._observers)
+
+    @property
+    def observers(self) -> Tuple[Tracer, ...]:
+        return self._dispatch
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The DirtBuster-style tracer slot (one per machine, replaceable)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Optional[Tracer]) -> None:
+        if self._tracer is not None:
+            self.detach_observer(self._tracer)
+        self._tracer = tracer
+        if tracer is not None:
+            self.attach_observer(tracer)
+
+    @property
+    def sanitizer(self) -> Optional[Tracer]:
+        """The sanitizer slot (kept for the ``sanitize=`` plumbing)."""
+        return self._sanitizer
 
     def attach_sanitizer(self, sanitizer: Tracer) -> None:
         """Subscribe a sanitizer before :meth:`run` (gives it machine access)."""
-        if self._finished:
-            raise SimulationError("cannot attach a sanitizer to a finished machine")
-        self.sanitizer = sanitizer
-        attach = getattr(sanitizer, "attach", None)
-        if attach is not None:
-            attach(self)
+        if self._sanitizer is not None:
+            self.detach_observer(self._sanitizer)
+        self._sanitizer = sanitizer
+        self.attach_observer(sanitizer)
 
     # -- running --------------------------------------------------------------
 
@@ -205,10 +257,10 @@ class Machine:
                 # Satisfied WAITs are observable: the sanitizer's
                 # happens-before pass needs the post->wait edge (a plain
                 # tracer sees them too, weighted at zero cycles).
-                if self.tracer is not None:
-                    self.tracer.record(core.stats.core_id, event, index, 0.0)
-                if self.sanitizer is not None:
-                    self.sanitizer.record(core.stats.core_id, event, index, 0.0)
+                observers = self._dispatch
+                if observers:
+                    for observer in observers:
+                        observer.record(core.stats.core_id, event, index, 0.0)
                 continue
             self.step(core, event)
         return self.finish()
@@ -220,10 +272,10 @@ class Machine:
         index = core.stats.instructions  # per-core, pre-retirement
         before = core.clock
         core.execute(event)
-        if self.tracer is not None:
-            self.tracer.record(core.stats.core_id, event, index, core.clock - before)
-        if self.sanitizer is not None:
-            self.sanitizer.record(core.stats.core_id, event, index, core.clock - before)
+        observers = self._dispatch
+        if observers:
+            for observer in observers:
+                observer.record(core.stats.core_id, event, index, core.clock - before)
 
     def finish(self) -> RunResult:
         """Drain caches and devices, then snapshot statistics."""
@@ -234,7 +286,14 @@ class Machine:
         for line in self.hierarchy.drain_dirty_lines():
             self.device.write_back(line * self.line_size, self.line_size, end)
         self.device.flush(end)
-        return self._snapshot(end, self.device.quiesce_time(end))
+        result = self._snapshot(end, self.device.quiesce_time(end))
+        # Post-run observer hook: samplers capture the drain tail and
+        # publish ``result.timeline``; trace builders emit counters.
+        for observer in self._dispatch:
+            finish = getattr(observer, "finish", None)
+            if finish is not None:
+                finish(self, result)
+        return result
 
     def _snapshot(self, cycles: float, cycles_with_drain: float) -> RunResult:
         for core in self.cores:

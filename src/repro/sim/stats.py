@@ -3,14 +3,28 @@
 One :class:`RunResult` is produced per simulation; experiments compare
 results across patch configurations (baseline vs. clean vs. demote vs.
 skip) to produce the paper's speedup / write-amplification numbers.
+
+Derived-ratio convention (DESIGN.md §9): a ratio whose denominator is
+zero — IPC of a zero-cycle run, hit rate with no accesses, throughput of
+a zero-cycle run — returns ``float("nan")``, never a fake ``0.0``.  NaN
+propagates loudly through arithmetic and comparisons instead of silently
+skewing means; callers that want a sentinel must opt in explicitly.
+(Write amplification is *not* such a ratio: zero bytes received means no
+amplification occurred, and ``1.0`` is its true neutral value.)
+
+:class:`RunResult` round-trips through JSON (:meth:`RunResult.to_json` /
+:meth:`RunResult.from_json`) so experiment results and sampled timelines
+can be archived as artifacts instead of dying with the process.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import Diagnostic
+from repro.obs.timeline import Timeline
 
 __all__ = ["CoreStats", "RunResult"]
 
@@ -39,7 +53,10 @@ class CoreStats:
 
     @property
     def ipc(self) -> float:
-        return self.instructions / self.cycles if self.cycles else 0.0
+        """Instructions per cycle; NaN for a zero-cycle core (no data)."""
+        if self.cycles <= 0:
+            return float("nan")
+        return self.instructions / self.cycles
 
 
 @dataclass
@@ -73,6 +90,9 @@ class RunResult:
     #: Sanitizer findings for this run (empty unless a sanitizer was
     #: attached via the ``sanitize=`` hooks; see :mod:`repro.sanitize`).
     diagnostics: List["Diagnostic"] = field(default_factory=list)
+    #: Sampled time-series telemetry (None unless an obs collector was
+    #: attached via the ``obs=`` hooks; see :mod:`repro.obs`).
+    timeline: Optional[Timeline] = None
 
     @property
     def write_amplification(self) -> float:
@@ -93,12 +113,14 @@ class RunResult:
         """Completed work items per kilocycle (higher is better).
 
         ``with_drain`` (default) charges the end-of-run writeback drain,
-        approximating steady state for short write-heavy runs.
+        approximating steady state for short write-heavy runs.  NaN for
+        a zero-cycle run (rate of nothing over no time — see the module
+        docstring's derived-ratio convention).
         """
         items = self.work_items if work_items is None else work_items
         cycles = self.cycles_with_drain if with_drain else self.cycles
         if cycles <= 0:
-            return 0.0
+            return float("nan")
         return 1000.0 * items / cycles
 
     def drained_speedup_over(self, baseline: "RunResult") -> float:
@@ -121,3 +143,46 @@ class RunResult:
             f"fence stalls={self.total_fence_stall_cycles:,.0f}cyc, "
             f"backpressure={self.total_backpressure_stall_cycles:,.0f}cyc"
         )
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data view of the whole result (JSON-serialisable)."""
+        return {
+            "machine_name": self.machine_name,
+            "cycles": self.cycles,
+            "cycles_with_drain": self.cycles_with_drain,
+            "instructions": self.instructions,
+            "cores": [asdict(c) for c in self.cores],
+            "cache_hits": dict(self.cache_hits),
+            "cache_misses": dict(self.cache_misses),
+            "cache_evictions": dict(self.cache_evictions),
+            "cache_dirty_evictions": dict(self.cache_dirty_evictions),
+            "device_writebacks": self.device_writebacks,
+            "device_bytes_received": self.device_bytes_received,
+            "device_media_bytes_written": self.device_media_bytes_written,
+            "device_reads": self.device_reads,
+            "device_bytes_read": self.device_bytes_read,
+            "work_items": self.work_items,
+            "extra": dict(self.extra),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "timeline": self.timeline.to_dict() if self.timeline is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "RunResult":
+        data = dict(d)
+        data["cores"] = [CoreStats(**c) for c in data.get("cores", ())]  # type: ignore[union-attr]
+        data["diagnostics"] = [
+            Diagnostic.from_dict(diag) for diag in data.get("diagnostics", ())  # type: ignore[union-attr]
+        ]
+        timeline = data.get("timeline")
+        data["timeline"] = Timeline.from_dict(timeline) if timeline is not None else None  # type: ignore[arg-type]
+        return cls(**data)  # type: ignore[arg-type]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))

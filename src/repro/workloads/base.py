@@ -69,14 +69,17 @@ class Workload(ABC):
         tracer: Optional[Tracer] = None,
         seed: int = 1234,
         sanitize: "bool | Tracer" = False,
+        obs: "bool | Tracer" = False,
     ) -> WorkloadResult:
         """Build a fresh program on ``spec`` and run to completion.
 
         ``sanitize`` opts into the :mod:`repro.sanitize` passes; findings
-        appear in ``result.run.diagnostics``.
+        appear in ``result.run.diagnostics``.  ``obs`` opts into
+        :mod:`repro.obs` telemetry; the sampled timeline appears on
+        ``result.run.timeline``.
         """
         patches = patches or PatchConfig.baseline()
-        program = Program(spec, tracer=tracer, seed=seed, sanitize=sanitize)
+        program = Program(spec, tracer=tracer, seed=seed, sanitize=sanitize, obs=obs)
         self.spawn(program, patches)
         result = program.run()
         enabled = patches.enabled_sites()

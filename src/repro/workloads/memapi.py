@@ -256,8 +256,12 @@ class Program:
 
     ``sanitize`` opts into the :mod:`repro.sanitize` dynamic passes:
     ``True`` attaches a default :class:`~repro.sanitize.Sanitizer`, or
-    pass a configured instance.  Off (the default) costs nothing — the
-    machine skips a ``None`` check per event.
+    pass a configured instance.  ``obs`` opts into :mod:`repro.obs`
+    telemetry the same way: ``True`` attaches a default
+    :class:`~repro.obs.ObsCollector` (timeline + trace), or pass a
+    configured collector; the sampled timeline lands on
+    ``RunResult.timeline``.  Both are off by default and then cost
+    nothing — the machine dispatches to an empty observer tuple.
     """
 
     def __init__(
@@ -266,6 +270,7 @@ class Program:
         tracer: Optional[Tracer] = None,
         seed: int = 1234,
         sanitize: "bool | Tracer" = False,
+        obs: "bool | Tracer" = False,
     ) -> None:
         sanitizer: Optional[Tracer] = None
         if sanitize:
@@ -277,7 +282,18 @@ class Program:
                 sanitizer = Sanitizer()
             else:
                 sanitizer = sanitize
+        collector: Optional[Tracer] = None
+        if obs:
+            if obs is True:
+                from repro.obs.collector import ObsCollector
+
+                collector = ObsCollector()
+            else:
+                collector = obs
         self.machine = Machine(spec, tracer=tracer, sanitizer=sanitizer)
+        if collector is not None:
+            self.machine.attach_observer(collector)
+        self.obs = collector
         self.sanitizer = sanitizer
         self.allocator = Allocator(spec.line_size)
         self._seed = seed

@@ -1,0 +1,100 @@
+"""Structured logging context and the wall-clock span profiler."""
+
+import logging
+import time
+
+from repro.obs.log import (
+    SpanProfiler,
+    current_context,
+    get_logger,
+    run_context,
+    span,
+)
+
+
+class TestRunContext:
+    def test_default_context_is_empty(self):
+        assert current_context() == {"run_id": None, "experiment_id": None}
+
+    def test_nested_contexts_restore(self):
+        with run_context(run_id="r1", experiment_id="e1"):
+            assert current_context()["run_id"] == "r1"
+            with run_context(run_id="r2"):
+                assert current_context()["run_id"] == "r2"
+                # experiment_id inherited from the enclosing context
+                assert current_context()["experiment_id"] == "e1"
+            assert current_context()["run_id"] == "r1"
+        assert current_context()["run_id"] is None
+
+    def test_records_carry_context_fields(self):
+        logger = get_logger("test")
+        captured = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                captured.append(record)
+
+        handler = Capture()
+        logger.addHandler(handler)
+        try:
+            with run_context(run_id="listing1/none/s7"):
+                logger.warning("hello")
+            logger.warning("outside")
+        finally:
+            logger.removeHandler(handler)
+        assert captured[0].run_id == "listing1/none/s7"
+        assert captured[1].run_id == "-"
+
+    def test_library_is_silent_by_default(self):
+        # NullHandler on the namespace root: no "No handlers could be
+        # found" warnings, nothing written unless basic_config() opts in.
+        assert any(
+            isinstance(h, logging.NullHandler)
+            for h in logging.getLogger("repro.obs").handlers
+        )
+
+
+class TestSpanProfiler:
+    def test_span_counts_and_self_time(self):
+        profiler = SpanProfiler()
+        with profiler.span("outer"):
+            time.sleep(0.01)
+            with profiler.span("inner"):
+                time.sleep(0.01)
+        stats = profiler.stats()
+        assert stats["outer"].count == 1
+        assert stats["inner"].count == 1
+        # Child wall time is subtracted from the parent's self time.
+        assert stats["outer"].self_s < stats["outer"].total_s
+        assert stats["outer"].total_s >= stats["inner"].total_s
+
+    def test_wrap_is_per_instance_and_reversible(self):
+        class Thing:
+            def work(self):
+                return 42
+
+        a, b = Thing(), Thing()
+        profiler = SpanProfiler()
+        profiler.wrap(a, "work", "thing.work")
+        assert a.work() == 42
+        assert b.work.__func__ is Thing.work  # other instances untouched
+        assert getattr(a.work, "__wrapped__", None) is not None
+        profiler.unwrap_all()
+        assert not hasattr(a.work, "__wrapped__")  # original restored
+        assert a.work() == 42
+        assert profiler.stats()["thing.work"].count == 1
+
+    def test_report_renders_all_spans(self):
+        profiler = SpanProfiler()
+        with profiler.span("alpha"):
+            pass
+        report = profiler.report()
+        assert "alpha" in report
+        assert "calls" in report
+
+    def test_module_level_span_helper(self):
+        with span("free-span"):
+            pass
+        from repro.obs.log import default_profiler
+
+        assert "free-span" in default_profiler.stats()

@@ -1,0 +1,76 @@
+"""Counters, gauges, histograms, and the registry's rendering."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("events")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter("events").inc(-1)
+
+
+class TestGauge:
+    def test_starts_nan_then_tracks_last_set(self):
+        g = Gauge("occupancy")
+        assert math.isnan(g.value)
+        g.set(3.5)
+        g.set(2.0)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_bucketing_and_mean(self):
+        h = Histogram("lat", bounds=(1, 10, 100))
+        for v in (0.5, 5, 5, 50, 500):
+            h.observe(v)
+        assert h.count == 5
+        assert h.mean == pytest.approx((0.5 + 5 + 5 + 50 + 500) / 5)
+
+    def test_quantiles_have_bucket_resolution(self):
+        h = Histogram("lat", bounds=(1, 10, 100))
+        for _ in range(99):
+            h.observe(5)
+        h.observe(50)
+        assert h.quantile(0.5) <= 10
+        assert h.quantile(0.99) <= 10
+        assert h.quantile(1.0) <= 100
+
+    def test_empty_quantile_is_nan(self):
+        assert math.isnan(Histogram("lat").quantile(0.5))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+
+    def test_name_collision_across_types_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_and_render(self):
+        reg = MetricsRegistry()
+        reg.counter("events.write").inc(10)
+        reg.gauge("run.wa").set(3.5)
+        reg.histogram("occ").observe(4)
+        snap = reg.snapshot()
+        assert snap["events.write"] == 10
+        assert snap["run.wa"] == 3.5
+        rendered = reg.render()
+        assert "events.write" in rendered
+        assert "run.wa" in rendered
+        assert "occ" in rendered
