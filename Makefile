@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint sanitize obs-demo
+.PHONY: test lint sanitize obs-demo bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,6 +14,14 @@ lint:
 
 sanitize:
 	$(PYTHON) -m repro.sanitize examples/quickstart.py
+
+# Runner benchmark: serial vs parallel, cold vs warm cache, with a
+# byte-identity check between the serial and pooled results.  Writes
+# BENCH_runner.json (uploaded as a CI artifact by the bench-smoke job).
+bench:
+	mkdir -p build
+	$(PYTHON) -m repro.runner bench --workers 4 \
+		--cache-dir build/runner-cache --out BENCH_runner.json
 
 # Telemetry smoke: run one workload with obs attached, produce a
 # Perfetto trace artifact under build/, validate it, then run the

@@ -29,9 +29,12 @@ class MediaCounters:
 
     @property
     def write_amplification(self) -> float:
-        """media bytes written per received byte (>=1.0 in steady state)."""
+        """Media bytes written per received byte (>=1.0 in steady state).
+
+        NaN when nothing was received (zero-denominator convention).
+        """
         if self.bytes_received == 0:
-            return 1.0
+            return float("nan")
         return self.media_bytes_written / self.bytes_received
 
     @classmethod

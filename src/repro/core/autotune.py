@@ -83,12 +83,17 @@ class AutoTuner:
         min_speedup: float = 1.01,
         sanitize: bool = False,
         obs: bool = False,
+        workers: Optional[int] = None,
     ) -> None:
         if min_speedup <= 0:
             raise AnalysisError(f"min_speedup must be positive, got {min_speedup}")
         self.dirtbuster = dirtbuster or DirtBuster()
         self.allow_skip = allow_skip
         self.min_speedup = min_speedup
+        #: Candidate measurement runs (baseline + patched) go through the
+        #: :mod:`repro.runner` pool; None inherits the ambient
+        #: :func:`~repro.runner.runner_session` (serial without one).
+        self.workers = workers
         #: Run both measurement runs under :mod:`repro.sanitize`; candidate
         #: patches introducing diagnostics absent from the baseline are
         #: rejected even when they measure faster (a pre-store that breaks
@@ -134,14 +139,27 @@ class AutoTuner:
         ``workload_factory`` is a zero-argument callable returning a fresh
         workload instance (runs must not share state).
         """
+        from repro.runner import Cell, execute_cells
+
         probe = workload_factory()
         report = self.dirtbuster.analyze(probe, spec, seed=seed)
         patches = self.patches_for(probe, report)
         adopted = dict(patches.enabled_sites())
-        baseline = workload_factory().run(
-            spec, PatchConfig.baseline(), seed=seed, sanitize=self.sanitize, obs=self.obs
-        ).run
+
+        def cell(config: PatchConfig) -> Cell:
+            return Cell(
+                make_workload=workload_factory,
+                spec=spec,
+                mode=None,
+                seed=seed,
+                sanitize=self.sanitize,
+                obs=self.obs,
+                patches=config,
+            )
+
         if not adopted:
+            (outcome,) = execute_cells([cell(PatchConfig.baseline())], workers=self.workers)
+            baseline = outcome.result
             return AutoTuneResult(
                 workload=probe.name,
                 report=report,
@@ -152,9 +170,11 @@ class AutoTuner:
                 kept=False,
                 candidate_metrics=self._candidate_metrics(baseline, None),
             )
-        patched = workload_factory().run(
-            spec, patches, seed=seed, sanitize=self.sanitize, obs=self.obs
-        ).run
+        # Baseline and candidate are independent runs: one pool round trip.
+        base_out, patched_out = execute_cells(
+            [cell(PatchConfig.baseline()), cell(patches)], workers=self.workers
+        )
+        baseline, patched = base_out.result, patched_out.result
         new_diagnostics = self._new_diagnostics(baseline, patched) if self.sanitize else []
         kept = (
             not new_diagnostics

@@ -46,6 +46,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=1234)
     parser.add_argument("--markdown", metavar="PATH", help="also write results as markdown")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard sweep cells across N worker processes (repro.runner)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-addressed result cache; repeat runs skip simulation",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -58,15 +69,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not ids:
         parser.error("give experiment ids, --all, or --list")
 
+    from repro.runner import runner_session
+
     results: List[ExperimentResult] = []
     failed = False
-    for eid in ids:
-        result = get(eid).run_checked(fast=not args.full, seed=args.seed)
-        results.append(result)
-        print(result.render())
-        print()
-        if any(n.startswith("SHAPE CHECK FAILED") for n in result.notes):
-            failed = True
+    with runner_session(workers=args.workers, cache_dir=args.cache_dir):
+        for eid in ids:
+            result = get(eid).run_checked(fast=not args.full, seed=args.seed)
+            results.append(result)
+            print(result.render())
+            print()
+            if any(n.startswith("SHAPE CHECK FAILED") for n in result.notes):
+                failed = True
 
     if args.markdown:
         with open(args.markdown, "w") as fh:

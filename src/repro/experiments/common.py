@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import time
-from typing import Callable, Dict, Iterable, Optional
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional, Union
 
 from repro.core.prestore import PatchConfig, PrestoreMode
-from repro.obs.log import get_logger, run_context
 from repro.sim.machine import MachineSpec
 from repro.sim.stats import RunResult
 from repro.workloads.base import Workload
@@ -17,8 +16,6 @@ __all__ = [
     "endorsed_patches",
     "MANUAL_MISUSE_SITES",
 ]
-
-_log = get_logger("experiments")
 
 #: Sites DirtBuster declines (Sections 5 and 7.4.2): patched only by the
 #: "incorrect manual use" experiments.
@@ -54,37 +51,38 @@ def run_variants(
     endorsed_only: bool = True,
     obs: bool = False,
     progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[PrestoreMode, RunResult]:
     """Run one workload configuration under several pre-store modes.
 
     ``make_workload`` is a zero-argument factory (a fresh instance per
     run keeps the runs independent).
 
-    Each variant run is timed and reported through the :mod:`repro.obs`
-    structured log (and ``progress``, when given — a callable receiving
-    one human-readable line per completed variant, which is how the
-    experiment CLI shows sweep progress).  ``obs=True`` additionally
-    attaches a fresh :class:`~repro.obs.ObsCollector` per run, leaving
-    each variant's sampled timeline on its ``RunResult.timeline``.
+    Execution goes through :mod:`repro.runner`: each mode becomes one
+    :class:`~repro.runner.Cell`, sharded across ``workers`` processes
+    (``workers``/``cache_dir`` default to the ambient
+    :func:`~repro.runner.runner_session`, serial and uncached when none
+    is active).  Results are bit-identical whatever the worker count,
+    and cache hits skip simulation entirely.  Progress and the
+    :mod:`repro.obs` structured log get one worker-tagged line per
+    completed variant.  ``obs=True`` additionally attaches a fresh
+    :class:`~repro.obs.ObsCollector` per run, leaving each variant's
+    sampled timeline on its ``RunResult.timeline``.
     """
-    results: Dict[PrestoreMode, RunResult] = {}
+    from repro.runner import Cell, execute_cells
+
     modes = list(modes)
-    for i, mode in enumerate(modes):
-        workload = make_workload()
-        patch = endorsed_patches if endorsed_only else patch_all_sites
-        config = PatchConfig.baseline() if mode is PrestoreMode.NONE else patch(workload, mode)
-        run_id = f"{workload.name}/{mode.value}/s{seed}"
-        started = time.perf_counter()
-        with run_context(run_id=run_id):
-            result = workload.run(spec, config, seed=seed, obs=obs).run
-        elapsed = time.perf_counter() - started
-        results[mode] = result
-        message = (
-            f"[{i + 1}/{len(modes)}] {workload.name} {mode.value} on {spec.name}: "
-            f"{result.cycles:,.0f} cycles, WA={result.write_amplification:.2f}x "
-            f"({elapsed:.2f}s wall)"
+    cells = [
+        Cell(
+            make_workload=make_workload,
+            spec=spec,
+            mode=mode,
+            seed=seed,
+            endorsed_only=endorsed_only,
+            obs=obs,
         )
-        _log.info("%s", message)
-        if progress is not None:
-            progress(message)
-    return results
+        for mode in modes
+    ]
+    outcomes = execute_cells(cells, workers=workers, cache=cache_dir, progress=progress)
+    return {mode: outcome.result for mode, outcome in zip(modes, outcomes)}

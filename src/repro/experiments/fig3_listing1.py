@@ -6,6 +6,8 @@ amplification with and without cleaning.
 
 from __future__ import annotations
 
+import functools
+
 from typing import List
 
 from repro.core.prestore import PrestoreMode
@@ -48,12 +50,13 @@ class Fig3Listing1(Experiment):
             iterations = max(1500 if fast else 3000, 3 * llc_bytes // size)
             for nthreads in threads:
                 results = run_variants(
-                    lambda s=size, n=nthreads, i=iterations: Listing1(
-                        element_size=s,
-                        num_elements=max(64, 4 * llc_bytes // s),
-                        iterations=i,
-                        threads=n,
-                        compute_per_iter=COMPUTE_PER_BYTE * s,
+                    functools.partial(
+                        Listing1,
+                        element_size=size,
+                        num_elements=max(64, 4 * llc_bytes // size),
+                        iterations=iterations,
+                        threads=nthreads,
+                        compute_per_iter=COMPUTE_PER_BYTE * size,
                     ),
                     machine_a(llc_kb=llc_kb),
                     (PrestoreMode.NONE, PrestoreMode.CLEAN),

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import functools
+
 from typing import List
 
 from repro.core.prestore import PrestoreMode
@@ -34,7 +36,7 @@ class Fig5Listing2(Experiment):
         for machine_name, spec in (("B-fast", machine_b_fast()), ("B-slow", machine_b_slow())):
             for nreads in counts:
                 results = run_variants(
-                    lambda n=nreads: Listing2(reads_before_fence=n, iterations=iterations),
+                    functools.partial(Listing2, reads_before_fence=nreads, iterations=iterations),
                     spec,
                     (PrestoreMode.NONE, PrestoreMode.DEMOTE),
                     seed=seed,

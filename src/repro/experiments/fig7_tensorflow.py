@@ -7,6 +7,8 @@ amplification with and without cleaning.
 
 from __future__ import annotations
 
+import functools
+
 from typing import Dict, List, Tuple
 
 from repro.core.prestore import PrestoreMode
@@ -37,8 +39,8 @@ def tensorflow_sweep(fast: bool, seed: int) -> Dict[int, Dict[PrestoreMode, RunR
     sweep: Dict[int, Dict[PrestoreMode, RunResult]] = {}
     for batch in batches:
         sweep[batch] = run_variants(
-            lambda b=batch: TensorFlowWorkload(
-                batch_size=b, iterations=2, threads=4, large_tensor_kb=96
+            functools.partial(
+                TensorFlowWorkload, batch_size=batch, iterations=2, threads=4, large_tensor_kb=96
             ),
             machine_a(),
             (PrestoreMode.NONE, PrestoreMode.CLEAN, PrestoreMode.SKIP),

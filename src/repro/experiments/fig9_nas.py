@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 from typing import List
 
 from repro.core.prestore import PrestoreMode
@@ -31,7 +32,7 @@ class Fig9NAS(Experiment):
         rows: List[SeriesRow] = []
         for kernel_cls in self.KERNELS:
             results = run_variants(
-                lambda cls=kernel_cls: cls(grid=grid, iterations=iterations, threads=4),
+                functools.partial(kernel_cls, grid=grid, iterations=iterations, threads=4),
                 machine_a(),
                 (PrestoreMode.NONE, PrestoreMode.CLEAN),
                 seed=seed,

@@ -7,6 +7,8 @@ write amplification).
 
 from __future__ import annotations
 
+import functools
+
 from typing import Dict, List, Tuple
 
 from repro.core.prestore import PrestoreMode
@@ -36,8 +38,9 @@ def kv_sweep(store: str, fast: bool, seed: int) -> Dict[int, Dict[PrestoreMode, 
     sweep: Dict[int, Dict[PrestoreMode, RunResult]] = {}
     for value_size in sizes:
         sweep[value_size] = run_variants(
-            lambda v=value_size: cls(
-                spec=YCSBSpec(mix="A", num_keys=8192, operations=operations, value_size=v),
+            functools.partial(
+                cls,
+                spec=YCSBSpec(mix="A", num_keys=8192, operations=operations, value_size=value_size),
                 threads=4,
             ),
             machine_a(),

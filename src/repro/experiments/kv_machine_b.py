@@ -8,6 +8,8 @@ instructions instead of "at the last minute" inside them (§7.3.1).
 
 from __future__ import annotations
 
+import functools
+
 from typing import List
 
 from repro.core.prestore import PrestoreMode
@@ -32,7 +34,8 @@ class _KVMachineB(Experiment):
         rows: List[SeriesRow] = []
         for machine_name, spec in (("B-fast", machine_b_fast()), ("B-slow", machine_b_slow())):
             results = run_variants(
-                lambda: self.store_cls(
+                functools.partial(
+                    self.store_cls,
                     spec=YCSBSpec(mix="A", num_keys=4096, operations=operations, value_size=1024),
                     threads=_THREADS,
                     op_overhead_instructions=_OP_OVERHEAD,

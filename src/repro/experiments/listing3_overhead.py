@@ -8,6 +8,8 @@ writing to the cache."
 
 from __future__ import annotations
 
+import functools
+
 from typing import List
 
 from repro.core.prestore import PrestoreMode
@@ -32,7 +34,7 @@ class Listing3Overhead(Experiment):
     def run(self, fast: bool = True, seed: int = 1234) -> ExperimentResult:
         iterations = 3000 if fast else 10000
         results = run_variants(
-            lambda: Listing3(iterations=iterations),
+            functools.partial(Listing3, iterations=iterations),
             machine_a(),
             (PrestoreMode.NONE, PrestoreMode.CLEAN),
             seed=seed,

@@ -141,6 +141,20 @@ def all_ids() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def run_all(fast: bool = True, seed: int = 1234) -> Dict[str, ExperimentResult]:
-    """Run every registered experiment (the EXPERIMENTS.md generator)."""
-    return {eid: get(eid).run_checked(fast=fast, seed=seed) for eid in all_ids()}
+def run_all(
+    fast: bool = True,
+    seed: int = 1234,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run every registered experiment (the EXPERIMENTS.md generator).
+
+    ``workers``/``cache_dir`` install a :func:`repro.runner.runner_session`
+    around the whole batch, so every ``run_variants`` sweep underneath
+    shards its cells across the same process pool and shares one result
+    cache.
+    """
+    from repro.runner import runner_session
+
+    with runner_session(workers=workers or 1, cache_dir=cache_dir):
+        return {eid: get(eid).run_checked(fast=fast, seed=seed) for eid in all_ids()}

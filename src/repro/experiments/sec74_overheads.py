@@ -12,6 +12,8 @@ Two experiments:
 
 from __future__ import annotations
 
+import functools
+
 from typing import List
 
 from repro.core.prestore import PatchConfig, PrestoreMode
@@ -36,11 +38,13 @@ class Sec741SuggestedOverhead(Experiment):
     )
 
     CASES = (
-        ("nas-mg", lambda: MGWorkload(grid=24, iterations=2, threads=4)),
-        ("nas-sp", lambda: SPWorkload(grid=20, iterations=2, threads=4)),
+        ("nas-mg", functools.partial(MGWorkload, grid=24, iterations=2, threads=4)),
+        ("nas-sp", functools.partial(SPWorkload, grid=20, iterations=2, threads=4)),
         (
             "tensorflow",
-            lambda: TensorFlowWorkload(batch_size=16, iterations=1, threads=4, large_tensor_kb=64),
+            functools.partial(
+                TensorFlowWorkload, batch_size=16, iterations=1, threads=4, large_tensor_kb=64
+            ),
         ),
     )
 

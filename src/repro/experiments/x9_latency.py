@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import functools
+
 from typing import List
 
 from repro.core.prestore import PrestoreMode
@@ -28,7 +30,7 @@ class X9Latency(Experiment):
         rows: List[SeriesRow] = []
         for machine_name, spec in (("B-fast", machine_b_fast()), ("B-slow", machine_b_slow())):
             results = run_variants(
-                lambda: X9Workload(messages=messages),
+                functools.partial(X9Workload, messages=messages),
                 spec,
                 (PrestoreMode.NONE, PrestoreMode.DEMOTE),
                 seed=seed,

@@ -121,7 +121,7 @@ def _run(args: argparse.Namespace) -> int:
     collector = ObsCollector(
         interval=args.interval, trace=args.trace is not None, profile=args.profile
     )
-    run_id = f"{workload.name}/{mode.value}/s{args.seed}"
+    run_id = f"{workload.name}/{spec.name}/{mode.value}/s{args.seed}"
     _log.info("running %s on %s", run_id, spec.name)
     with run_context(run_id=run_id):
         result = workload.run(spec, patches, seed=args.seed, obs=collector).run

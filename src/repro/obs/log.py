@@ -44,20 +44,26 @@ __all__ = [
 
 _LOG_ROOT = "repro.obs"
 
-#: Ambient identifiers stamped onto every log record.
-_context: Dict[str, Optional[str]] = {"run_id": None, "experiment_id": None}
+#: Ambient identifiers stamped onto every log record.  ``worker`` is the
+#: executing process tag (``pid<N>``) set by :mod:`repro.runner` so
+#: fan-in logs from a pool attribute each record to its process.
+_context: Dict[str, Optional[str]] = {"run_id": None, "experiment_id": None, "worker": None}
 
 
 @contextmanager
 def run_context(
-    run_id: Optional[str] = None, experiment_id: Optional[str] = None
+    run_id: Optional[str] = None,
+    experiment_id: Optional[str] = None,
+    worker: Optional[str] = None,
 ) -> Iterator[None]:
-    """Set the ambient run/experiment ids for logs emitted inside."""
+    """Set the ambient run/experiment/worker ids for logs emitted inside."""
     previous = dict(_context)
     if run_id is not None:
         _context["run_id"] = run_id
     if experiment_id is not None:
         _context["experiment_id"] = experiment_id
+    if worker is not None:
+        _context["worker"] = worker
     try:
         yield
     finally:
@@ -75,10 +81,13 @@ class _ContextFilter(logging.Filter):
     def filter(self, record: logging.LogRecord) -> bool:
         record.run_id = _context["run_id"] or "-"
         record.experiment_id = _context["experiment_id"] or "-"
+        record.worker = _context["worker"] or "-"
         return True
 
 
-_FORMAT = "%(levelname)s %(name)s run=%(run_id)s exp=%(experiment_id)s %(message)s"
+_FORMAT = (
+    "%(levelname)s %(name)s run=%(run_id)s exp=%(experiment_id)s w=%(worker)s %(message)s"
+)
 
 
 def get_logger(name: str = "") -> logging.Logger:

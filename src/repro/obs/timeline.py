@@ -88,12 +88,18 @@ class TimelineSample:
     def to_dict(self) -> Dict[str, object]:
         d = asdict(self)
         d["store_buffer_occupancy"] = list(self.store_buffer_occupancy)
+        # NaN (running WA before any writeback) is not valid strict JSON;
+        # archive it as null and restore on load.
+        if math.isnan(self.running_write_amplification):
+            d["running_write_amplification"] = None
         return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, object]) -> "TimelineSample":
         kwargs = dict(d)
         kwargs["store_buffer_occupancy"] = tuple(kwargs["store_buffer_occupancy"])  # type: ignore[arg-type]
+        if kwargs.get("running_write_amplification") is None:
+            kwargs["running_write_amplification"] = float("nan")
         return cls(**kwargs)  # type: ignore[arg-type]
 
 
@@ -199,7 +205,7 @@ class Timeline:
                 self.cumulative["cache_hits"] / accesses if accesses else float("nan")
             ),
             "write_amplification": (
-                total_media / received if received else 1.0
+                total_media / received if received else float("nan")
             ),
             "fence_stall_cycles": self.cumulative["fence_stall_cycles"],
             "backpressure_stall_cycles": self.cumulative["backpressure_stall_cycles"],

@@ -28,6 +28,7 @@ timeline are never dropped.
 from __future__ import annotations
 
 import json
+import math
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.obs.timeline import Timeline
@@ -205,13 +206,16 @@ class TraceBuilder:
                     },
                 }
             )
-            self._events.append(
-                {
-                    "name": "write amplification",
-                    "ph": "C", "pid": DEVICE_PID, "tid": 0, "ts": ts,
-                    "args": {"wa": round(sample.running_write_amplification, 4)},
-                }
-            )
+            # No WA counter point before the first writeback: the running
+            # WA is NaN then (DESIGN.md §9), and NaN is not valid JSON.
+            if not math.isnan(sample.running_write_amplification):
+                self._events.append(
+                    {
+                        "name": "write amplification",
+                        "ph": "C", "pid": DEVICE_PID, "tid": 0, "ts": ts,
+                        "args": {"wa": round(sample.running_write_amplification, 4)},
+                    }
+                )
             self._events.append(
                 {
                     "name": "store-buffer occupancy",

@@ -1,0 +1,108 @@
+"""Benchmark harness: serial vs. parallel, cold vs. warm cache.
+
+``python -m repro.runner bench`` (or ``make bench``) times the same
+cell set three ways —
+
+1. **serial cold** — one process, no cache (the pre-runner baseline);
+2. **parallel cold** — the worker pool, filling an empty cache;
+3. **parallel warm** — the same sweep again, expecting 100% cache hits
+
+— checks the parallel results are byte-identical to the serial ones,
+and writes the measurements to ``BENCH_runner.json``.  On a single-core
+container the speedup hovers around (or below) 1.0; the number that
+must always hold is the warm run's zero simulations.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.prestore import PrestoreMode
+from repro.runner.cache import ResultCache
+from repro.runner.cells import Cell, code_fingerprint
+from repro.runner.pool import execute_cells
+from repro.sim.machine import machine_a
+
+__all__ = ["bench_cells", "run_bench"]
+
+
+def bench_cells(full: bool = False) -> List[Cell]:
+    """A reduced fig9-style sweep: NAS kernels x (baseline, clean)."""
+    from repro.workloads.nas import FTWorkload, MGWorkload, SPWorkload, UAWorkload
+
+    kernels = (MGWorkload, FTWorkload, SPWorkload, UAWorkload)
+    grid = 24 if full else 16
+    iterations = 2 if full else 1
+    spec = machine_a()
+    return [
+        Cell(
+            make_workload=functools.partial(cls, grid=grid, iterations=iterations, threads=4),
+            spec=spec,
+            mode=mode,
+            seed=1234,
+        )
+        for cls in kernels
+        for mode in (PrestoreMode.NONE, PrestoreMode.CLEAN)
+    ]
+
+
+def _timed(cells: Sequence[Cell], **kwargs) -> Dict[str, object]:
+    started = time.perf_counter()
+    outcomes = execute_cells(cells, **kwargs)
+    elapsed = time.perf_counter() - started
+    return {
+        "wall_s": elapsed,
+        "jsons": [o.result_json for o in outcomes],
+        "cached": sum(1 for o in outcomes if o.cached),
+        "workers_seen": sorted({o.worker for o in outcomes}),
+    }
+
+
+def run_bench(
+    workers: int = 4,
+    cache_dir: Union[str, Path] = "build/runner-cache",
+    out: Union[str, Path] = "BENCH_runner.json",
+    full: bool = False,
+    cells: Optional[List[Cell]] = None,
+) -> Dict[str, object]:
+    """Run the three-way comparison and write ``out``; returns the doc."""
+    cells = cells if cells is not None else bench_cells(full=full)
+    cache = ResultCache(cache_dir)
+    cache.root.mkdir(parents=True, exist_ok=True)
+    cache.clear()  # cold means cold
+
+    serial = _timed(cells, workers=1, cache=None)
+    parallel_cold = _timed(cells, workers=workers, cache=cache)
+    parallel_warm = _timed(cells, workers=workers, cache=cache)
+
+    deterministic = serial["jsons"] == parallel_cold["jsons"]
+    warm_all_cached = parallel_warm["cached"] == len(cells)
+    speedup = (
+        serial["wall_s"] / parallel_cold["wall_s"] if parallel_cold["wall_s"] > 0 else float("inf")
+    )
+
+    doc = {
+        "bench": "repro.runner",
+        "cells": len(cells),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "code_fingerprint": code_fingerprint(),
+        "serial_cold_s": round(serial["wall_s"], 4),
+        "parallel_cold_s": round(parallel_cold["wall_s"], 4),
+        "parallel_warm_s": round(parallel_warm["wall_s"], 4),
+        "parallel_speedup": round(speedup, 3),
+        "warm_cache_hits": parallel_warm["cached"],
+        "warm_all_cached": warm_all_cached,
+        "deterministic": deterministic,
+        "cache_entries": len(cache),
+    }
+    out = Path(out)
+    if out.parent != Path("."):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc

@@ -1,0 +1,111 @@
+"""Content-addressed on-disk cache of serialised run results.
+
+Layout under the cache root::
+
+    <root>/<key[:2]>/<key>.json        # RunResult.to_json(), byte-exact
+    <root>/<key[:2]>/<key>.meta.json   # provenance: run id, worker, wall time
+
+The payload file holds exactly the bytes ``RunResult.to_json()``
+produced, so a cache hit reproduces the serialised result *bit for
+bit* — the determinism contract extends through the cache.  Writes go
+through a temp file + ``os.replace`` so a crashed run never leaves a
+torn entry, and concurrent writers of the same key are idempotent.
+
+Keys come from :func:`repro.runner.cells.cache_key` and already include
+the code fingerprint; a stale entry from an older tree simply never
+gets looked up again.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.runner.cells import Cell, cache_key
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Filesystem-backed map from cell key to serialised RunResult."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # -- key plumbing -------------------------------------------------------
+
+    def key_for(self, cell: Cell) -> Optional[str]:
+        """The cell's content-addressed key (None: uncacheable factory)."""
+        return cache_key(cell)
+
+    def _payload_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.meta.json"
+
+    # -- read/write ---------------------------------------------------------
+
+    def load(self, key: str) -> Optional[str]:
+        """The stored RunResult JSON, or None on a miss (counts stats)."""
+        try:
+            text = self._payload_path(key).read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return text
+
+    def load_meta(self, key: str) -> Dict[str, object]:
+        try:
+            return json.loads(self._meta_path(key).read_text())
+        except (OSError, ValueError):
+            return {}
+
+    def store(self, key: str, result_json: str, meta: Optional[Dict[str, object]] = None) -> None:
+        """Atomically persist a result (and its provenance sidecar)."""
+        payload = self._payload_path(key)
+        payload.parent.mkdir(parents=True, exist_ok=True)
+        self._atomic_write(payload, result_json)
+        if meta is not None:
+            self._atomic_write(self._meta_path(key), json.dumps(meta, indent=2))
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance --------------------------------------------------------
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for p in self.root.glob("*/*.json") if not p.name.endswith(".meta.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many payloads were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("*/*.json"):
+            if not path.name.endswith(".meta.json"):
+                removed += 1
+            path.unlink()
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

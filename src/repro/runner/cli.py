@@ -1,0 +1,67 @@
+"""``python -m repro.runner``: bench and cache maintenance.
+
+Examples::
+
+    python -m repro.runner bench --workers 4 --out BENCH_runner.json
+    python -m repro.runner bench --full --cache-dir build/runner-cache
+    python -m repro.runner cache --dir build/runner-cache
+    python -m repro.runner cache --dir build/runner-cache --clear
+
+Parallel experiment sweeps live on the experiments CLI
+(``prestores-experiments fig9 --workers 4 --cache-dir ...``); this
+entry point owns the runner's own artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.log import basic_config
+from repro.runner.bench import run_bench
+from repro.runner.cache import ResultCache
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Process-pool experiment runner: benchmark and cache tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bench = sub.add_parser("bench", help="time serial vs parallel, cold vs warm cache")
+    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--cache-dir", default="build/runner-cache")
+    bench.add_argument("--out", default="BENCH_runner.json")
+    bench.add_argument("--full", action="store_true", help="bigger grids (slower)")
+    bench.add_argument("--verbose", action="store_true", help="log per-cell progress")
+
+    cache = sub.add_parser("cache", help="inspect or clear a result cache")
+    cache.add_argument("--dir", required=True)
+    cache.add_argument("--clear", action="store_true")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "bench":
+        if args.verbose:
+            basic_config()
+        doc = run_bench(
+            workers=args.workers, cache_dir=args.cache_dir, out=args.out, full=args.full
+        )
+        print(json.dumps(doc, indent=2))
+        ok = doc["deterministic"] and doc["warm_all_cached"]
+        print(f"wrote {args.out}" + ("" if ok else " (FAILED invariants)"))
+        return 0 if ok else 1
+
+    store = ResultCache(args.dir)
+    if args.clear:
+        print(f"removed {store.clear()} entries from {args.dir}")
+    else:
+        print(f"{args.dir}: {len(store)} entries")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

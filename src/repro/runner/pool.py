@@ -1,0 +1,237 @@
+"""Process-pool execution of cells, with caching and progress fan-in.
+
+:func:`execute_cells` is the one entry point: it resolves each cell
+against the :class:`~repro.runner.cache.ResultCache` (when one is
+configured), runs the misses — in a ``ProcessPoolExecutor`` when
+``workers > 1`` and the cell pickles, inline otherwise — and returns
+outcomes in cell order.  Because every cell constructs its workload
+and machine fresh inside :func:`~repro.runner.cells.run_cell`, the
+serialised results are bit-identical however the cells were scheduled.
+
+:func:`runner_session` sets ambient worker-count/cache defaults so
+callers several layers up (the experiment CLI) can parallelise every
+``run_variants`` underneath without threading arguments through each
+experiment's ``run`` method.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Sequence, Union
+
+from repro.obs.log import get_logger
+from repro.runner.cache import ResultCache
+from repro.runner.cells import Cell, CellRun, cell_run_id, run_cell
+from repro.sim.stats import RunResult
+
+__all__ = ["CellOutcome", "execute_cells", "runner_session", "active_session", "RunnerSession"]
+
+_log = get_logger("runner")
+
+Progress = Optional[Callable[[str], None]]
+
+
+@dataclass
+class CellOutcome:
+    """One cell's result plus how it was obtained."""
+
+    cell: Cell
+    result: RunResult
+    #: The canonical serialised form (what the cache stores and what
+    #: determinism tests compare).
+    result_json: str
+    run_id: str
+    #: ``pid<N>`` of the process that simulated, or ``"cache"``.
+    worker: str
+    cached: bool
+    wall_s: float
+
+
+@dataclass
+class RunnerSession:
+    """Ambient execution defaults installed by :func:`runner_session`."""
+
+    workers: int = 1
+    cache: Optional[ResultCache] = None
+    _executor: Optional[ProcessPoolExecutor] = None
+
+    def executor(self) -> Optional[ProcessPoolExecutor]:
+        """A pool shared across the session's execute_cells calls."""
+        if self.workers > 1 and self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+
+_session: Optional[RunnerSession] = None
+
+
+def active_session() -> Optional[RunnerSession]:
+    return _session
+
+
+@contextmanager
+def runner_session(
+    workers: int = 1, cache_dir: Optional[Union[str, Path]] = None
+) -> Iterator[RunnerSession]:
+    """Install ambient runner defaults (and one shared process pool).
+
+    Every :func:`execute_cells` call inside the block — including the
+    ones ``run_variants`` makes on behalf of registered experiments —
+    inherits ``workers`` and the cache unless explicitly overridden.
+    """
+    global _session
+    previous = _session
+    session = RunnerSession(
+        workers=max(1, int(workers)),
+        cache=ResultCache(cache_dir) if cache_dir is not None else None,
+    )
+    _session = session
+    try:
+        yield session
+    finally:
+        _session = previous
+        session.close()
+
+
+def _coerce_cache(cache: Union[ResultCache, str, Path, None]) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def _picklable(cell: Cell) -> bool:
+    try:
+        pickle.dumps(cell)
+        return True
+    except Exception:
+        return False
+
+
+def execute_cells(
+    cells: Sequence[Cell],
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, str, Path, None] = None,
+    progress: Progress = None,
+) -> List[CellOutcome]:
+    """Run every cell; results come back in cell order.
+
+    ``workers``/``cache`` default to the ambient :func:`runner_session`
+    (serial, uncached when none is active).  Cache hits skip simulation
+    entirely — the workload factory is never called.  Cells whose
+    factory cannot pickle (lambdas, closures) fall back to inline
+    execution instead of failing; they produce identical results, just
+    without the parallelism.
+    """
+    session = _session
+    if workers is None:
+        workers = session.workers if session is not None else 1
+    workers = max(1, int(workers))
+    resolved_cache = _coerce_cache(cache)
+    if resolved_cache is None and session is not None:
+        resolved_cache = session.cache
+
+    total = len(cells)
+    outcomes: List[Optional[CellOutcome]] = [None] * total
+    pending: List[tuple] = []  # (index, cell, key)
+
+    for i, cell in enumerate(cells):
+        key = resolved_cache.key_for(cell) if resolved_cache is not None else None
+        if key is not None:
+            text = resolved_cache.load(key)
+            if text is not None:
+                meta = resolved_cache.load_meta(key)
+                run_id = str(meta.get("run_id", key[:12]))
+                outcomes[i] = CellOutcome(
+                    cell=cell,
+                    result=RunResult.from_json(text),
+                    result_json=text,
+                    run_id=run_id,
+                    worker="cache",
+                    cached=True,
+                    wall_s=0.0,
+                )
+                _emit(progress, f"[{i + 1}/{total}] {run_id}: cache hit")
+                continue
+        pending.append((i, cell, key))
+
+    def finish(index: int, cell: Cell, key: Optional[str], run: CellRun) -> None:
+        if key is not None and resolved_cache is not None:
+            resolved_cache.store(
+                key,
+                run.result_json,
+                meta={
+                    "run_id": run.run_id,
+                    "workload": run.workload,
+                    "machine": cell.spec.name,
+                    "seed": cell.seed,
+                    "worker": run.worker,
+                    "wall_s": run.wall_s,
+                },
+            )
+        result = RunResult.from_json(run.result_json)
+        outcomes[index] = CellOutcome(
+            cell=cell,
+            result=result,
+            result_json=run.result_json,
+            run_id=run.run_id,
+            worker=run.worker,
+            cached=False,
+            wall_s=run.wall_s,
+        )
+        _emit(
+            progress,
+            f"[{index + 1}/{total}] {run.run_id}: {result.cycles:,.0f} cycles, "
+            f"WA={result.write_amplification:.2f}x ({run.wall_s:.2f}s wall, {run.worker})",
+        )
+
+    inline: List[tuple] = []
+    if workers > 1 and pending:
+        executor: Optional[ProcessPoolExecutor] = None
+        own_executor = False
+        if session is not None and session.workers == workers:
+            executor = session.executor()
+        if executor is None:
+            executor = ProcessPoolExecutor(max_workers=workers)
+            own_executor = True
+        try:
+            futures = {}
+            for i, cell, key in pending:
+                if _picklable(cell):
+                    futures[executor.submit(run_cell, cell)] = (i, cell, key)
+                else:
+                    _log.info(
+                        "%s", f"cell {cell_run_id(cell, '?')}: factory not picklable, running inline"
+                    )
+                    inline.append((i, cell, key))
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i, cell, key = futures[future]
+                    finish(i, cell, key, future.result())
+        finally:
+            if own_executor:
+                executor.shutdown()
+    else:
+        inline = pending
+
+    for i, cell, key in inline:
+        finish(i, cell, key, run_cell(cell))
+
+    return [o for o in outcomes if o is not None]
+
+
+def _emit(progress: Progress, message: str) -> None:
+    _log.info("%s", message)
+    if progress is not None:
+        progress(message)

@@ -96,9 +96,13 @@ class DeviceStats:
     combiner_merges: int = 0
 
     def write_amplification(self) -> float:
-        """media bytes written / cache bytes evicted (1.0 = none)."""
+        """Media bytes written per cache byte evicted.
+
+        NaN when nothing has been received yet (DESIGN.md §9: a ratio
+        with a zero denominator has no data, not a neutral value).
+        """
         if self.bytes_received == 0:
-            return 1.0
+            return float("nan")
         return self.media_bytes_written / self.bytes_received
 
 
@@ -179,6 +183,12 @@ class MemoryDevice:
         #: write amplification this queue carries WA× the bus bytes and
         #: becomes the bottleneck.
         self._media_next_free = 0.0
+        #: Read-return horizon: line-fill payloads share the link with
+        #: writeback traffic (they wait behind ``_bus_next_free``) and
+        #: serialise among themselves, but — like a real memory
+        #: controller that slots prioritised reads into gaps — they do
+        #: not push the writers' horizon back.
+        self._read_return_next_free = 0.0
         #: Recently read media blocks: consecutive line fills within one
         #: internal-granularity block cost one media read, not four (the
         #: device buffers the block it just read).
@@ -194,7 +204,18 @@ class MemoryDevice:
         """
         return max(0.0, self._bus_next_free - now, self._media_next_free - now)
 
-    def _consume_bus(self, now: float, nbytes: int) -> float:
+    def _consume_bus(self, now: float, nbytes: int, read_return: bool = False) -> float:
+        """Occupy the shared link for ``nbytes``; returns the finish time.
+
+        Writeback payloads advance ``_bus_next_free``.  Read returns
+        (``read_return=True``) wait behind it — a writeback backlog
+        delays line fills — but only advance their own horizon, so a
+        read-heavy phase never inflates store backpressure.
+        """
+        if read_return:
+            start = max(now, self._bus_next_free, self._read_return_next_free)
+            self._read_return_next_free = start + nbytes / self.spec.bandwidth_bytes_per_cycle
+            return self._read_return_next_free
         start = max(now, self._bus_next_free)
         self._bus_next_free = start + nbytes / self.spec.bandwidth_bytes_per_cycle
         return self._bus_next_free
@@ -214,6 +235,11 @@ class MemoryDevice:
         this is how write amplification slows down GET-heavy phases on
         real PMEM.  The CPU-side backpressure limit bounds how far behind
         the media can be, so reads never starve.
+
+        The fill payload then crosses the shared link, so a writeback
+        backlog on the *bus* delays reads too — even when the media
+        itself is idle (e.g. a merge-friendly writeback stream that
+        closes no combiner entries).
         """
         self.stats.reads += 1
         self.stats.bytes_read += size
@@ -231,7 +257,11 @@ class MemoryDevice:
         occupancy = media_bytes / read_bw
         start = max(now, self._media_next_free)
         self._media_next_free = start + occupancy
-        return start + occupancy + self.spec.read_latency
+        media_done = start + occupancy
+        # The line fill is delivered over the same link writeback payloads
+        # arrive on; it cannot start before the media produced the data.
+        bus_done = self._consume_bus(media_done, size, read_return=True)
+        return bus_done + self.spec.read_latency
 
     def write_back(self, addr: int, size: int, now: float) -> float:
         """A cache-line writeback arriving from the CPU.
@@ -243,12 +273,15 @@ class MemoryDevice:
         """
         self.stats.writebacks_received += 1
         self.stats.bytes_received += size
-        done = self._consume_bus(now, size)
+        bus_done = self._consume_bus(now, size)
         closed = self.combiner.add(addr, size)
+        done = bus_done
         for _ in range(closed):
             self.stats.media_writes += 1
             self.stats.media_bytes_written += self.spec.internal_granularity
-            done = max(done, self._consume_media(now, self.spec.internal_granularity))
+            # A closed entry's media write cannot start before the bus
+            # has delivered the payload that triggered the close.
+            done = max(done, self._consume_media(bus_done, self.spec.internal_granularity))
         return done + (self.spec.write_latency if closed else 0)
 
     def flush(self, now: float) -> float:

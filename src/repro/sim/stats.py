@@ -6,11 +6,10 @@ skip) to produce the paper's speedup / write-amplification numbers.
 
 Derived-ratio convention (DESIGN.md §9): a ratio whose denominator is
 zero — IPC of a zero-cycle run, hit rate with no accesses, throughput of
-a zero-cycle run — returns ``float("nan")``, never a fake ``0.0``.  NaN
-propagates loudly through arithmetic and comparisons instead of silently
-skewing means; callers that want a sentinel must opt in explicitly.
-(Write amplification is *not* such a ratio: zero bytes received means no
-amplification occurred, and ``1.0`` is its true neutral value.)
+a zero-cycle run, write amplification with no bytes received — returns
+``float("nan")``, never a fake sentinel.  NaN propagates loudly through
+arithmetic and comparisons instead of silently skewing means; callers
+that want a sentinel must opt in explicitly.
 
 :class:`RunResult` round-trips through JSON (:meth:`RunResult.to_json` /
 :meth:`RunResult.from_json`) so experiment results and sampled timelines
@@ -96,9 +95,12 @@ class RunResult:
 
     @property
     def write_amplification(self) -> float:
-        """Media bytes written per cache byte evicted (>= ~1.0)."""
+        """Media bytes written per cache byte evicted (>= ~1.0).
+
+        NaN when the run evicted nothing (zero-denominator convention).
+        """
         if self.device_bytes_received == 0:
-            return 1.0
+            return float("nan")
         return self.device_media_bytes_written / self.device_bytes_received
 
     @property

@@ -186,6 +186,7 @@ class StoreBuffer:
         for entry in self._pending.values():
             if entry.visible_time is None:
                 self._start_visibility(entry, now, visibility)
+                self.stats.demotes_started += 1
                 started += 1
         return started
 

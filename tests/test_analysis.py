@@ -1,5 +1,7 @@
 """Unit tests for the analysis utilities (ipmctl, perf, sweep, tables)."""
 
+import math
+
 import pytest
 
 from repro.analysis.ipmctl import MediaCounters, read_media_counters
@@ -22,8 +24,9 @@ class TestIpmctl:
         )
         assert "WriteAmplification" in counters.render()
 
-    def test_idle_device_reports_unity(self):
-        assert MediaCounters(0, 0, 0).write_amplification == 1.0
+    def test_idle_device_reports_nan(self):
+        # Zero-denominator convention (DESIGN.md §9): no bytes, no data.
+        assert math.isnan(MediaCounters(0, 0, 0).write_amplification)
 
 
 class TestPerf:

@@ -1,5 +1,7 @@
 """Unit tests for memory device models and the write combiner."""
 
+import math
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -113,6 +115,55 @@ class TestMemoryDevice:
     def test_directory_latency_device_resident(self):
         assert MemoryDevice(optane_pmem_spec()).directory_latency > 0
         assert MemoryDevice(dram_spec()).directory_latency == 0
+
+    def test_idle_write_amplification_is_nan(self):
+        # Regression: a 1.0 sentinel on zero bytes contradicted the
+        # zero-denominator NaN convention (DESIGN.md §9).
+        dev = MemoryDevice(optane_pmem_spec())
+        assert math.isnan(dev.write_amplification())
+        dev.write_back(0, 64, now=0.0)
+        dev.flush(0.0)
+        assert dev.write_amplification() == pytest.approx(4.0)
+
+    def test_writeback_backlog_delays_read(self):
+        # Regression: line fills used to charge only the media horizon,
+        # so a merge-friendly writeback stream (bus busy, media idle)
+        # never delayed reads on the shared link.
+        quiet = MemoryDevice(optane_pmem_spec())
+        busy = MemoryDevice(optane_pmem_spec())
+        # Sequential 64B writebacks into one 256B block: all merge, the
+        # combiner closes nothing, so only the *bus* is loaded.
+        for i in range(512):
+            busy.write_back((i % 4) * 64, 64, now=0.0)
+        assert busy.stats.media_writes == 0
+        addr = 1 << 20  # cold block, same media cost on both devices
+        assert busy.read(addr, 64, now=0.0) > quiet.read(addr, 64, now=0.0)
+
+    def test_read_does_not_inflate_write_bus(self):
+        # Fills wait behind writebacks, not the other way around: read
+        # returns never push the writers' bus horizon back (they occupy
+        # the media, which is shared contention, but not the bus).
+        dev = MemoryDevice(optane_pmem_spec())
+        for i in range(64):
+            dev.read(i * 4096, 64, now=0.0)
+        assert dev._bus_next_free == 0.0
+        assert dev._read_return_next_free > 0.0
+
+    def test_media_write_starts_after_bus_delivery(self):
+        # Regression: a closed combiner entry's media write used to start
+        # at max(now, media_next_free), i.e. possibly before the bus had
+        # delivered the payload that triggered the close.
+        spec = DeviceSpec(
+            name="slow-bus", read_latency=10, write_latency=0,
+            internal_granularity=256, bandwidth_bytes_per_cycle=1.0,
+            combiner_entries=1,
+        )
+        dev = MemoryDevice(spec)
+        dev.write_back(0, 64, now=0.0)          # opens block 0; bus [0, 64)
+        done = dev.write_back(4096, 64, now=0.0)  # closes block 0; bus [64, 128)
+        # The 256B media write may start only once the bus finished at
+        # t=128, so the closing writeback is durable no earlier than 384.
+        assert done >= 128 + 256
 
 
 @given(

@@ -14,7 +14,26 @@ from repro.obs.log import (
 
 class TestRunContext:
     def test_default_context_is_empty(self):
-        assert current_context() == {"run_id": None, "experiment_id": None}
+        assert current_context() == {"run_id": None, "experiment_id": None, "worker": None}
+
+    def test_worker_tag_stamps_records(self):
+        logger = get_logger("test-worker")
+        captured = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                captured.append(record)
+
+        handler = Capture()
+        logger.addHandler(handler)
+        try:
+            with run_context(run_id="r", worker="pid123"):
+                logger.warning("pooled")
+            logger.warning("outside")
+        finally:
+            logger.removeHandler(handler)
+        assert captured[0].worker == "pid123"
+        assert captured[1].worker == "-"
 
     def test_nested_contexts_restore(self):
         with run_context(run_id="r1", experiment_id="e1"):

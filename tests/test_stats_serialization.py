@@ -60,10 +60,12 @@ class TestNaNConvention:
         assert math.isnan(_sample(dt=0.0).device_write_bandwidth)
         assert _sample(device_media_bytes_written=640).device_write_bandwidth == 64.0
 
-    def test_write_amplification_neutral_not_nan(self):
-        # WA is deliberately NOT NaN on zero bytes: no writes means no
-        # amplification, and 1.0 is its true neutral value.
-        assert _empty_result().write_amplification == 1.0
+    def test_write_amplification_nan_on_zero_bytes(self):
+        assert math.isnan(_empty_result().write_amplification)
+        live = _empty_result()
+        live.device_bytes_received = 128
+        live.device_media_bytes_written = 256
+        assert live.write_amplification == 2.0
 
 
 def _empty_result(cycles=0.0, cycles_with_drain=0.0, work_items=0) -> RunResult:

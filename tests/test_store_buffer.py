@@ -79,6 +79,18 @@ class TestWeak:
             sb.write(line, now=0.0, visibility=_vis())
         assert sb.demote_all(now=0.0, visibility=_vis()) == 5
 
+    def test_demote_all_counts_in_stats(self):
+        # Regression: bulk demotes used to vanish from demotes_started.
+        sb = StoreBuffer("weak")
+        for line in range(4):
+            sb.write(line, now=0.0, visibility=_vis())
+        sb.demote(0, now=0.0, visibility=_vis())
+        assert sb.demote_all(now=1.0, visibility=_vis()) == 3  # 0 already started
+        assert sb.stats.demotes_started == 4
+        # Nothing parked: another sweep starts (and counts) nothing.
+        assert sb.demote_all(now=2.0, visibility=_vis()) == 0
+        assert sb.stats.demotes_started == 4
+
     def test_coalescing_same_line(self):
         sb = StoreBuffer("weak")
         sb.write(1, now=0.0, visibility=_vis())
