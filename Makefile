@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint sanitize obs-demo bench
+.PHONY: test lint sanitize obs-demo bench bench-sim
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,6 +22,12 @@ bench:
 	mkdir -p build
 	$(PYTHON) -m repro.runner bench --workers 4 \
 		--cache-dir build/runner-cache --out BENCH_runner.json
+
+# Simulator benchmark: events/sec for the reference (per-access event)
+# vs. batched stream interpreter on every machine preset, with a
+# bit-identity check between the two paths.  Writes BENCH_sim.json.
+bench-sim:
+	$(PYTHON) -m repro.sim.bench --out BENCH_sim.json
 
 # Telemetry smoke: run one workload with obs attached, produce a
 # Perfetto trace artifact under build/, validate it, then run the

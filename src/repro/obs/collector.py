@@ -53,6 +53,11 @@ class ObsCollector:
     machine instance only*.
     """
 
+    #: The collector needs per-access records (timeline samples weight
+    #: individual events); the machine therefore unrolls batched stream
+    #: events before fan-out whenever one is attached.
+    accepts_streams = False
+
     def __init__(
         self,
         interval: float = DEFAULT_INTERVAL,

@@ -63,12 +63,35 @@ def _timed(cells: Sequence[Cell], **kwargs) -> Dict[str, object]:
     }
 
 
+def _sim_summary() -> Dict[str, object]:
+    """Quick interpreter throughput numbers from :mod:`repro.sim.bench`.
+
+    One preset, two benchmarks, quick sizes — enough to track the
+    event-interpreter speedup alongside the runner's own numbers.
+    """
+    from repro.sim.bench import BENCHMARKS, PRESETS, _measure
+
+    summary: Dict[str, object] = {}
+    preset = PRESETS["machine-A"]
+    for bname in ("seq_write_warm", "seq_write_cold"):
+        body, _full_sizes, quick_sizes = BENCHMARKS[bname]
+        entry = _measure(preset, body, quick_sizes, repeats=1)
+        summary[bname] = {
+            "reference_events_per_sec": round(entry["reference"]["events_per_sec"], 1),
+            "fast_events_per_sec": round(entry["fast"]["events_per_sec"], 1),
+            "speedup": round(entry["speedup"], 3),
+            "identical": entry["identical"],
+        }
+    return summary
+
+
 def run_bench(
     workers: int = 4,
     cache_dir: Union[str, Path] = "build/runner-cache",
     out: Union[str, Path] = "BENCH_runner.json",
     full: bool = False,
     cells: Optional[List[Cell]] = None,
+    sim: bool = True,
 ) -> Dict[str, object]:
     """Run the three-way comparison and write ``out``; returns the doc."""
     cells = cells if cells is not None else bench_cells(full=full)
@@ -101,6 +124,8 @@ def run_bench(
         "deterministic": deterministic,
         "cache_entries": len(cache),
     }
+    if sim:
+        doc["sim"] = _sim_summary()
     out = Path(out)
     if out.parent != Path("."):
         out.parent.mkdir(parents=True, exist_ok=True)

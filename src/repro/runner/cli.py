@@ -37,6 +37,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--out", default="BENCH_runner.json")
     bench.add_argument("--full", action="store_true", help="bigger grids (slower)")
     bench.add_argument("--verbose", action="store_true", help="log per-cell progress")
+    bench.add_argument(
+        "--no-sim",
+        action="store_true",
+        help="skip the event-interpreter throughput summary (repro.sim.bench)",
+    )
 
     cache = sub.add_parser("cache", help="inspect or clear a result cache")
     cache.add_argument("--dir", required=True)
@@ -48,7 +53,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.verbose:
             basic_config()
         doc = run_bench(
-            workers=args.workers, cache_dir=args.cache_dir, out=args.out, full=args.full
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            out=args.out,
+            full=args.full,
+            sim=not args.no_sim,
         )
         print(json.dumps(doc, indent=2))
         ok = doc["deterministic"] and doc["warm_all_cached"]

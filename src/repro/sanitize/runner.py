@@ -50,6 +50,11 @@ class Sanitizer:
     build a fresh Sanitizer per run, exactly like a Machine.
     """
 
+    #: Race detection and lint need every individual access (and its
+    #: per-access instruction index), so the machine unrolls batched
+    #: stream events before fan-out whenever a sanitizer is attached.
+    accepts_streams = False
+
     def __init__(
         self,
         races: bool = True,

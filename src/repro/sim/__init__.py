@@ -6,7 +6,7 @@ for the substitution argument and §4 for the semantics.
 
 from repro.sim.cache import CacheHierarchy, CacheLevel, CacheLevelSpec
 from repro.sim.coherence import VisibilityModel
-from repro.sim.event import CodeSite, Event, EventKind, UNKNOWN_SITE
+from repro.sim.event import CodeSite, Event, EventKind, STREAM_KINDS, UNKNOWN_SITE
 from repro.sim.machine import (
     Machine,
     MachineSpec,
@@ -42,6 +42,7 @@ __all__ = [
     "MachineSpec",
     "MemoryDevice",
     "RunResult",
+    "STREAM_KINDS",
     "StoreBuffer",
     "Tracer",
     "UNKNOWN_SITE",

@@ -109,13 +109,15 @@ class CacheLevel:
         spec: CacheLevelSpec,
         line_size: int,
         policy: ReplacementPolicy,
-        hashed_index: bool = False,
     ) -> None:
         spec.validate(line_size)
         self.spec = spec
         self.line_size = line_size
         self.policy = policy
-        self.hashed_index = hashed_index
+        # Read from the spec — a separate constructor argument used to
+        # shadow ``spec.hashed_index``, silently dropping LLC hashing for
+        # direct constructions that forgot to pass it twice.
+        self.hashed_index = spec.hashed_index
         self.num_sets = spec.size_bytes // (spec.ways * line_size)
         self._sets: List[List[_Way]] = [
             [_Way() for _ in range(spec.ways)] for _ in range(self.num_sets)
@@ -123,6 +125,11 @@ class CacheLevel:
         self._policy_state = [policy.new_set(spec.ways) for _ in range(self.num_sets)]
         # line -> (set index, way index); the fast path for lookups.
         self._index: Dict[int, Tuple[int, int]] = {}
+        # line -> hashed set index, memoised (bounded by touched lines).
+        self._set_cache: Dict[int, int] = {}
+        #: Whether repeated ``on_access`` calls may be collapsed to one
+        #: (see ReplacementPolicy.idempotent_on_access).
+        self._idempotent_policy = bool(getattr(policy, "idempotent_on_access", False))
         self.stats = CacheStats()
 
     # -- queries ---------------------------------------------------------
@@ -130,8 +137,12 @@ class CacheLevel:
     def set_index(self, line: int) -> int:
         """The set a line maps to (modulo, or hashed when configured)."""
         if self.hashed_index:
-            # Fibonacci hashing: cheap, deterministic, well spread.
-            return ((line * 0x9E3779B97F4A7C15) >> 17) % self.num_sets
+            cached = self._set_cache.get(line)
+            if cached is None:
+                # Fibonacci hashing: cheap, deterministic, well spread.
+                cached = ((line * 0x9E3779B97F4A7C15) >> 17) % self.num_sets
+                self._set_cache[line] = cached
+            return cached
         return line % self.num_sets
 
     def contains(self, line: int) -> bool:
@@ -294,6 +305,15 @@ class CacheHierarchy:
                 raise ConfigurationError("all levels must share the machine line size")
         self.levels = list(levels)
         self.line_size = line_size
+        # Allocation-free fast path: innermost-level hits are by far the
+        # most common outcome, need no fills or writebacks, and have a
+        # constant latency — so they share one preallocated result.  The
+        # shared result is read-only by convention (its writebacks
+        # container is an empty tuple, so accidental mutation raises) and
+        # only valid until the next access, which every caller satisfies.
+        l1 = self.levels[0]
+        self._l1_index = l1._index
+        self._l1_hit = HierarchyAccessResult(l1.spec.name, l1.spec.hit_latency, (), False)  # type: ignore[arg-type]
 
     @property
     def last_level(self) -> CacheLevel:
@@ -310,6 +330,27 @@ class CacheHierarchy:
         Latency is the hit latency of the level that hit (memory latency
         is added by the CPU, which owns the device clock).
         """
+        loc = self._l1_index.get(line)
+        if loc is not None:
+            # Innermost hit: bump stats/recency/dirtiness in place and
+            # return the shared result — no Eviction, list, or result
+            # allocation.  Equivalent to the generic path below: that
+            # path nets hits+1 (access +1, bookkeeping re-access +1,
+            # explicit -1) and touches the policy twice with the same
+            # way, which idempotent policies collapse to one touch.
+            l1 = self.levels[0]
+            set_i, way_i = loc
+            l1.stats.hits += 1
+            l1.policy.on_access(l1._policy_state[set_i], way_i)
+            if is_write:
+                l1._sets[set_i][way_i].dirty = True
+                if not l1._idempotent_policy:
+                    l1.policy.on_access(l1._policy_state[set_i], way_i)
+            return self._l1_hit
+        return self._access_line_slow(line, is_write)
+
+    def _access_line_slow(self, line: int, is_write: bool) -> HierarchyAccessResult:
+        """The generic walk: inner miss, fills, evictions, writebacks."""
         latency = 0
         hit_at: Optional[int] = None
         for i, lvl in enumerate(self.levels):

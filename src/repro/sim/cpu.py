@@ -20,13 +20,14 @@ implement the paper's cost model:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+import math
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.core.prestore import CYCLES_PER_PRESTORE, PrestoreOp
 from repro.errors import SimulationError
-from repro.sim.event import Event, EventKind
+from repro.sim.event import STREAM_KINDS, Event, EventKind
 from repro.sim.stats import CoreStats
-from repro.sim.store_buffer import StoreBuffer
+from repro.sim.store_buffer import StoreBuffer, _Pending
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.machine import Machine
@@ -52,6 +53,28 @@ class Core:
             model=machine.spec.memory_model,
             capacity=machine.spec.store_buffer_capacity,
         )
+        # Precomputed hot-path constants (DESIGN.md §11).  The directory
+        # cost of a line transfer and the visibility latency of a cached
+        # line depend only on the machine, not on the access.
+        l1 = machine.hierarchy.levels[0]
+        self._l1 = l1
+        self._l1_hit_latency = float(l1.spec.hit_latency)
+        self._dir_latency = machine.device.directory_latency or machine.visibility.sram_directory_latency
+        self._vis_cached = machine.visibility.visibility_latency(machine.device, True)
+        #: The fused stream loop collapses the reference interpreter's
+        #: repeated same-way policy touches into one; only sound when the
+        #: innermost policy declares on_access idempotent.
+        self._fast_policy = l1._idempotent_policy
+        #: Kind -> bound handler, replacing the enum if-chain.  COMPUTE,
+        #: WAIT and the stream kinds are handled before/around dispatch.
+        self._handlers = {
+            EventKind.READ: self._do_read,
+            EventKind.WRITE: self._do_any_write,
+            EventKind.FENCE: self._do_fence,
+            EventKind.ATOMIC: self._do_atomic,
+            EventKind.PRESTORE: self._do_prestore,
+            EventKind.POST: self._do_post,
+        }
 
     # -- helpers -------------------------------------------------------------
 
@@ -132,25 +155,338 @@ class Core:
             self.stats.instructions += event.size
             self.clock += event.size * self.machine.spec.cycles_per_compute
             return
-        self.stats.instructions += 1
-        if kind is EventKind.READ:
-            self._do_read(event)
-        elif kind is EventKind.WRITE:
-            if event.nontemporal:
-                self._do_nontemporal_write(event)
-            else:
-                self._do_write(event)
-        elif kind is EventKind.FENCE:
-            self._do_fence(event)
-        elif kind is EventKind.ATOMIC:
-            self._do_atomic(event)
-        elif kind is EventKind.PRESTORE:
-            self._do_prestore(event)
-        elif kind is EventKind.POST:
-            event.mailbox.post(event.sync_key, self.clock)
-            self.clock += 1
-        else:  # pragma: no cover - exhaustive
+        handler = self._handlers.get(kind)
+        if handler is None:
+            if kind in STREAM_KINDS:
+                # Direct callers get the whole run; the machine scheduler
+                # expands streams itself so it can honour preemption.
+                self.execute_stream(event)
+                return
             raise SimulationError(f"unknown event kind {kind!r}")
+        self.stats.instructions += 1
+        handler(event)
+
+    def _do_any_write(self, event: Event) -> None:
+        if event.nontemporal:
+            self._do_nontemporal_write(event)
+        else:
+            self._do_write(event)
+
+    def _do_post(self, event: Event) -> None:
+        event.mailbox.post(event.sync_key, self.clock)
+        self.clock += 1
+
+    # -- stream execution (the fast interpretation path) -----------------------
+
+    def execute_stream(
+        self,
+        event: Event,
+        strict_limit: float = math.inf,
+        loose_limit: float = math.inf,
+    ) -> Optional[Event]:
+        """Execute a batched access run in a fused per-line loop.
+
+        Semantics are bit-identical to executing one READ/WRITE event per
+        ``chunk`` bytes through :meth:`execute` (DESIGN.md §11 lists the
+        audited equivalences).  The loop yields back to the scheduler as
+        soon as this core's clock would no longer win the time-ordered
+        pick — it must stay strictly below every earlier-listed live
+        thread and at-or-below every later-listed one, replicating
+        ``min()``'s first-minimal tie-breaking — and then returns
+        ``event`` mutated to the remaining ``[addr, addr+size)`` range;
+        ``None`` once the run is complete.
+        """
+        kind = event.kind
+        if self._fast_policy:
+            if kind is EventKind.STREAM_WRITE and not event.nontemporal:
+                return self._stream_write_fast(event, strict_limit, loose_limit)
+            if kind is EventKind.STREAM_READ:
+                return self._stream_read_fast(event, strict_limit, loose_limit)
+        if kind not in STREAM_KINDS:
+            raise SimulationError(f"execute_stream() got non-stream event {event!r}")
+        return self._stream_generic(event, strict_limit, loose_limit)
+
+    def _stream_generic(
+        self, event: Event, strict_limit: float, loose_limit: float
+    ) -> Optional[Event]:
+        """Per-access expansion without fusion (NT writes, exotic policies).
+
+        Still skips the per-access generator round trip and validation,
+        but runs every access through the reference handlers.
+        """
+        access_kind = EventKind.READ if event.kind is EventKind.STREAM_READ else EventKind.WRITE
+        addr, size, chunk = event.addr, event.size, event.chunk
+        nt, relaxed, site, chain = event.nontemporal, event.relaxed, event.site, event.callchain
+        execute = self.execute
+        offset = 0
+        while offset < size:
+            clock = self.clock
+            if not (clock < strict_limit and clock <= loose_limit):
+                event.addr = addr + offset
+                event.size = size - offset
+                return event
+            length = chunk if size - offset >= chunk else size - offset
+            execute(Event.fast_access(access_kind, addr + offset, length, nt, relaxed, site, chain))
+            offset += length
+        return None
+
+    def _stream_write_fast(
+        self, event: Event, strict_limit: float, loose_limit: float
+    ) -> Optional[Event]:
+        """Fused sequential-store loop.
+
+        Per access this replicates, in order: ``execute``'s retirement
+        accounting, ``_do_write``'s issue cost and resident-line dirtying,
+        ``StoreBuffer.write``'s prune/coalesce/overflow/visibility logic
+        (with the visibility latency of a cached line hoisted to a
+        constant), and ``_apply_backpressure`` — without allocating an
+        event, a range, a result, or a writeback list.  Any access that
+        is not a warm single-line store falls back to the reference
+        per-event path mid-stream.
+        """
+        machine = self.machine
+        line_size = machine.line_size
+        l1 = self._l1
+        l1_index = l1._index
+        l1_sets = l1._sets
+        l1_pstate = l1._policy_state
+        on_access = l1.policy.on_access
+        sb = self.store_buffer
+        pending = sb._pending
+        sb_stats = sb.stats
+        capacity = sb.capacity
+        tso = sb.model == "tso"
+        vis_cached = self._vis_cached
+        device = machine.device
+        backlog_limit = machine.spec.backlog_limit_cycles
+        line_owner = machine.line_owner
+        cid = self.stats.core_id
+        stats = self.stats
+        visibility = self._visibility_latency
+
+        addr, size, chunk = event.addr, event.size, event.chunk
+        relaxed, site, chain = event.relaxed, event.site, event.callchain
+        offset = 0
+        clock = self.clock
+        tail = sb._pipeline_tail
+        n_fast = 0  # fast-path accesses since the last flush
+        n_coalesced = 0
+        n_hits = 0  # L1 hit delta since the last flush
+
+        while offset < size:
+            if not (clock < strict_limit and clock <= loose_limit):
+                break
+            length = chunk if size - offset >= chunk else size - offset
+            a = addr + offset
+            line = a // line_size
+            loc = l1_index.get(line) if (a + length - 1) // line_size == line else None
+            if loc is None:
+                # Cold or line-straddling chunk: flush the accumulators
+                # and run this one access down the reference path.
+                self.clock = clock
+                sb._pipeline_tail = tail
+                if n_fast:
+                    stats.instructions += n_fast
+                    stats.writes += n_fast
+                    sb_stats.stores_buffered += n_fast
+                    n_fast = 0
+                if n_coalesced:
+                    sb_stats.coalesced += n_coalesced
+                    n_coalesced = 0
+                if n_hits:
+                    l1.stats.hits += n_hits
+                    n_hits = 0
+                self.execute(
+                    Event.fast_access(EventKind.WRITE, a, length, False, relaxed, site, chain)
+                )
+                clock = self.clock
+                tail = sb._pipeline_tail
+                offset += length
+                continue
+            # Warm single-line store to an L1-resident line.
+            n_fast += 1
+            set_i, way_i = loc
+            n_hits += 1
+            on_access(l1_pstate[set_i], way_i)
+            l1_sets[set_i][way_i].dirty = True
+            line_owner[line] = cid
+            clock += 1.0  # STORE_ISSUE_COST
+            now = clock
+            # Inline StoreBuffer._prune(now).
+            while pending:
+                oldest = next(iter(pending.values()))
+                vt = oldest.visible_time
+                if vt is None or vt > now:
+                    break
+                del pending[oldest.line]
+            if line in pending:
+                n_coalesced += 1
+                pending.move_to_end(line)
+            else:
+                stall = 0.0
+                if len(pending) >= capacity:
+                    oldest = next(iter(pending.values()))
+                    vt = oldest.visible_time
+                    if vt is None:
+                        oloc = l1_index.get(oldest.line)
+                        if oloc is not None:
+                            # Weak model, forced-out line still in L1:
+                            # its visibility round trip is one more L1
+                            # write hit at the cached-line latency —
+                            # inline it like the TSO branch below.
+                            oset, oway = oloc
+                            n_hits += 1
+                            on_access(l1_pstate[oset], oway)
+                            l1_sets[oset][oway].dirty = True
+                            line_owner[oldest.line] = cid
+                            vt = now + vis_cached
+                            if vt < tail:
+                                vt = tail
+                            oldest.visible_time = vt
+                            tail = vt
+                        else:
+                            # Forced-out line left the caches: the round
+                            # trip touches the hierarchy and the device —
+                            # run the real callback with synced state.
+                            self.clock = clock
+                            sb._pipeline_tail = tail
+                            sb._start_visibility(oldest, now, visibility)
+                            tail = sb._pipeline_tail
+                            vt = oldest.visible_time
+                    stall = vt - now
+                    if stall < 0.0:
+                        stall = 0.0
+                    del pending[oldest.line]
+                    sb_stats.overflow_drains += 1
+                entry = _Pending(line, now + stall)
+                pending[line] = entry
+                if tso:
+                    # Inline _start_visibility with the hoisted constant:
+                    # the line is L1-resident, so the visibility access
+                    # is one more L1 write hit — no fill, no device read,
+                    # no writebacks.
+                    n_hits += 1
+                    vt = now + stall + vis_cached
+                    if vt < tail:
+                        vt = tail
+                    entry.visible_time = vt
+                    tail = vt
+                if stall > 0.0:
+                    clock += stall
+                    stats.store_buffer_stall_cycles += stall
+            # Inline _apply_backpressure().
+            bus = device._bus_next_free
+            media = device._media_next_free
+            horizon = bus if bus > media else media
+            if horizon > clock:
+                excess = (horizon - clock) - backlog_limit
+                if excess > 0:
+                    clock += excess
+                    stats.backpressure_stall_cycles += excess
+            offset += length
+
+        self.clock = clock
+        sb._pipeline_tail = tail
+        if n_fast:
+            stats.instructions += n_fast
+            stats.writes += n_fast
+            sb_stats.stores_buffered += n_fast
+        if n_coalesced:
+            sb_stats.coalesced += n_coalesced
+        if n_hits:
+            l1.stats.hits += n_hits
+        if offset < size:
+            event.addr = addr + offset
+            event.size = size - offset
+            return event
+        return None
+
+    def _stream_read_fast(
+        self, event: Event, strict_limit: float, loose_limit: float
+    ) -> Optional[Event]:
+        """Fused sequential-load loop.
+
+        Warm single-line loads resolve to store-buffer forwarding or an
+        L1 hit (plus an owner-transfer charge) without allocations; any
+        other access falls back to the reference per-event path.
+        """
+        machine = self.machine
+        line_size = machine.line_size
+        l1 = self._l1
+        l1_index = l1._index
+        l1_pstate = l1._policy_state
+        on_access = l1.policy.on_access
+        l1_latency = self._l1_hit_latency
+        dir_latency = self._dir_latency
+        pending = self.store_buffer._pending
+        line_owner = machine.line_owner
+        cid = self.stats.core_id
+        stats = self.stats
+
+        addr, size, chunk = event.addr, event.size, event.chunk
+        relaxed, site, chain = event.relaxed, event.site, event.callchain
+        offset = 0
+        clock = self.clock
+        n_fast = 0
+        n_hits = 0
+
+        while offset < size:
+            if not (clock < strict_limit and clock <= loose_limit):
+                break
+            length = chunk if size - offset >= chunk else size - offset
+            a = addr + offset
+            line = a // line_size
+            if (a + length - 1) // line_size == line:
+                if line in pending:
+                    # Store-to-load forwarding: FORWARD_LATENCY, no
+                    # cache or device traffic.
+                    n_fast += 1
+                    clock += 1
+                    offset += length
+                    continue
+                loc = l1_index.get(line)
+                if loc is not None:
+                    owner = line_owner.get(line)
+                    if owner is None or owner == cid:
+                        transfer = 0
+                    else:
+                        # Pulling another core's private copy: directory
+                        # round trip; the line becomes shared.
+                        transfer = dir_latency
+                        del line_owner[line]
+                    n_fast += 1
+                    set_i, way_i = loc
+                    n_hits += 1
+                    on_access(l1_pstate[set_i], way_i)
+                    clock += l1_latency + transfer
+                    offset += length
+                    continue
+            # Miss or line-straddling chunk: reference path.
+            self.clock = clock
+            if n_fast:
+                stats.instructions += n_fast
+                stats.reads += n_fast
+                n_fast = 0
+            if n_hits:
+                l1.stats.hits += n_hits
+                n_hits = 0
+            self.execute(
+                Event.fast_access(EventKind.READ, a, length, False, relaxed, site, chain)
+            )
+            clock = self.clock
+            offset += length
+
+        self.clock = clock
+        if n_fast:
+            stats.instructions += n_fast
+            stats.reads += n_fast
+        if n_hits:
+            l1.stats.hits += n_hits
+        if offset < size:
+            event.addr = addr + offset
+            event.size = size - offset
+            return event
+        return None
 
     # -- loads -----------------------------------------------------------------
 

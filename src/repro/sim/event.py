@@ -10,6 +10,22 @@ Each non-``COMPUTE`` event counts as exactly one retired instruction;
 ``COMPUTE(n)`` stands for ``n`` arithmetic instructions between memory
 operations.  DirtBuster's re-read / re-write / fence distances (paper
 Section 6.2.3) are measured in these instruction counts.
+
+Two event representations exist for sequential access runs:
+
+* the **reference** vocabulary — one READ/WRITE event per access, yielded
+  individually by the workload generator; and
+* the **batched** vocabulary — a single ``STREAM_READ``/``STREAM_WRITE``
+  event (built with :meth:`Event.stream`) describing a whole run of
+  back-to-back same-site accesses.  The machine expands a stream inside
+  its scheduler loop, one access per ``chunk`` bytes, with semantics
+  bit-identical to the per-event form (DESIGN.md §11).
+
+``Event`` is a ``__slots__`` class with a validating constructor and
+non-validating :meth:`Event.fast` / :meth:`Event.fast_access` factories
+for the simulator's hot paths; workload-authored events should use the
+normal constructor (or the :class:`~repro.workloads.memapi.ThreadCtx`
+helpers), which still checks its arguments.
 """
 
 from __future__ import annotations
@@ -22,7 +38,7 @@ from typing import Optional, Tuple
 from repro.core.prestore import PrestoreOp
 from repro.errors import SimulationError
 
-__all__ = ["EventKind", "CodeSite", "Event", "Mailbox", "UNKNOWN_SITE"]
+__all__ = ["EventKind", "CodeSite", "Event", "Mailbox", "UNKNOWN_SITE", "STREAM_KINDS"]
 
 
 class EventKind(enum.Enum):
@@ -48,6 +64,26 @@ class EventKind(enum.Enum):
     POST = "post"
     #: Spin until a POSTed key is available (models a spin-wait loop).
     WAIT = "wait"
+    #: A batched run of sequential loads: one READ per ``chunk`` bytes,
+    #: expanded by the machine scheduler (DESIGN.md §11).
+    STREAM_READ = "stream_read"
+    #: A batched run of sequential stores: one WRITE per ``chunk`` bytes.
+    STREAM_WRITE = "stream_write"
+
+
+#: The batched (stream) kinds; the scheduler expands these inline.
+STREAM_KINDS = (EventKind.STREAM_READ, EventKind.STREAM_WRITE)
+
+#: Stream kind -> the per-access kind its expansion produces.
+_STREAM_ACCESS_KIND = {
+    EventKind.STREAM_READ: EventKind.READ,
+    EventKind.STREAM_WRITE: EventKind.WRITE,
+}
+
+_MEMORY_KINDS = frozenset((EventKind.READ, EventKind.WRITE, EventKind.ATOMIC))
+_SIZED_KINDS = frozenset(
+    (EventKind.READ, EventKind.WRITE, EventKind.PRESTORE, EventKind.ATOMIC)
+)
 
 
 class Mailbox:
@@ -99,60 +135,233 @@ class CodeSite:
 #: Default site for events emitted outside any labelled function.
 UNKNOWN_SITE = CodeSite(function="<unlabelled>", file="<unknown>", line=0)
 
+_EVENT_FIELDS = (
+    "kind",
+    "addr",
+    "size",
+    "op",
+    "nontemporal",
+    "relaxed",
+    "fence_scope",
+    "mailbox",
+    "sync_key",
+    "site",
+    "callchain",
+    "chunk",
+)
 
-@dataclass
+
 class Event:
-    """One simulated instruction.
+    """One simulated instruction (or, for stream kinds, a run of them).
 
     ``addr``/``size`` describe the touched byte range for memory events.
     ``site`` and ``callchain`` carry the provenance DirtBuster needs;
     ``callchain`` is the tuple of caller sites, innermost last, exactly
-    like a perf callchain.
+    like a perf callchain.  ``chunk`` is only meaningful for stream
+    events: the per-access byte granularity the run expands at.
+
+    The class uses ``__slots__`` and a hand-written constructor instead
+    of a dataclass: the simulator allocates millions of these, and the
+    dataclass machinery (``__post_init__`` dispatch, ``__dict__``
+    storage) was a measurable share of interpreter time.
     """
 
-    kind: EventKind
-    addr: int = 0
-    size: int = 0
-    #: Pre-store operation; only meaningful for ``PRESTORE`` events.
-    op: Optional[PrestoreOp] = None
-    #: True for non-temporal ("cache skipping") stores.
-    nontemporal: bool = False
-    #: True for intentionally unsynchronised accesses (CLHT's lock-free
-    #: bucket reads, Masstree's version-validated node reads).  Purely an
-    #: annotation for :mod:`repro.sanitize` — the machine executes
-    #: relaxed accesses exactly like plain ones; the race detector treats
-    #: them like C11 atomics and does not report races involving them.
-    relaxed: bool = False
-    #: For FENCE events: "full" drains the store buffer, "load" only
-    #: orders reads (cheap).
-    fence_scope: str = "full"
-    #: For POST/WAIT events: the mailbox and key to synchronise on.
-    mailbox: Optional[Mailbox] = None
-    sync_key: object = None
-    site: CodeSite = UNKNOWN_SITE
-    callchain: Tuple[CodeSite, ...] = ()
+    __slots__ = _EVENT_FIELDS
 
-    def __post_init__(self) -> None:
-        if self.kind in (EventKind.READ, EventKind.WRITE, EventKind.PRESTORE, EventKind.ATOMIC):
+    def __init__(
+        self,
+        kind: EventKind,
+        addr: int = 0,
+        size: int = 0,
+        op: Optional[PrestoreOp] = None,
+        nontemporal: bool = False,
+        relaxed: bool = False,
+        fence_scope: str = "full",
+        mailbox: Optional[Mailbox] = None,
+        sync_key: object = None,
+        site: CodeSite = UNKNOWN_SITE,
+        callchain: Tuple[CodeSite, ...] = (),
+        chunk: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.addr = addr
+        self.size = size
+        self.op = op
+        self.nontemporal = nontemporal
+        self.relaxed = relaxed
+        self.fence_scope = fence_scope
+        self.mailbox = mailbox
+        self.sync_key = sync_key
+        self.site = site
+        self.callchain = callchain
+        self.chunk = chunk
+        self._validate()
+
+    def _validate(self) -> None:
+        kind = self.kind
+        if kind in _SIZED_KINDS:
             if self.size <= 0:
-                raise SimulationError(f"{self.kind.value} event requires size > 0, got {self.size}")
+                raise SimulationError(f"{kind.value} event requires size > 0, got {self.size}")
             if self.addr < 0:
-                raise SimulationError(f"{self.kind.value} event requires addr >= 0, got {self.addr}")
-        if self.kind is EventKind.COMPUTE and self.size <= 0:
+                raise SimulationError(f"{kind.value} event requires addr >= 0, got {self.addr}")
+        if kind is EventKind.COMPUTE and self.size <= 0:
             raise SimulationError(f"compute event requires a positive instruction count, got {self.size}")
-        if self.kind is EventKind.PRESTORE and self.op is None:
+        if kind is EventKind.PRESTORE and self.op is None:
             raise SimulationError("prestore event requires an op (DEMOTE or CLEAN)")
-        if self.nontemporal and self.kind is not EventKind.WRITE:
+        if self.nontemporal and kind not in (EventKind.WRITE, EventKind.STREAM_WRITE):
             raise SimulationError("only WRITE events can be non-temporal")
-        if self.relaxed and self.kind not in (EventKind.READ, EventKind.WRITE):
+        if self.relaxed and kind not in (
+            EventKind.READ,
+            EventKind.WRITE,
+            EventKind.STREAM_READ,
+            EventKind.STREAM_WRITE,
+        ):
             raise SimulationError("only READ/WRITE events can be marked relaxed")
-        if self.kind in (EventKind.POST, EventKind.WAIT) and self.mailbox is None:
-            raise SimulationError(f"{self.kind.value} event requires a mailbox")
+        if kind in (EventKind.POST, EventKind.WAIT) and self.mailbox is None:
+            raise SimulationError(f"{kind.value} event requires a mailbox")
+        if kind in STREAM_KINDS:
+            if self.size <= 0 or self.addr < 0:
+                raise SimulationError(f"{kind.value} event requires addr >= 0 and size > 0")
+            if self.chunk <= 0:
+                raise SimulationError(f"{kind.value} event requires a positive chunk")
+
+    # -- fast constructors (simulator-internal hot paths) ------------------
+
+    @classmethod
+    def fast(
+        cls,
+        kind: EventKind,
+        addr: int = 0,
+        size: int = 0,
+        op: Optional[PrestoreOp] = None,
+        nontemporal: bool = False,
+        relaxed: bool = False,
+        fence_scope: str = "full",
+        mailbox: Optional[Mailbox] = None,
+        sync_key: object = None,
+        site: CodeSite = UNKNOWN_SITE,
+        callchain: Tuple[CodeSite, ...] = (),
+        chunk: int = 0,
+    ) -> "Event":
+        """Build an event without validation (trusted, machine-built input)."""
+        ev = object.__new__(cls)
+        ev.kind = kind
+        ev.addr = addr
+        ev.size = size
+        ev.op = op
+        ev.nontemporal = nontemporal
+        ev.relaxed = relaxed
+        ev.fence_scope = fence_scope
+        ev.mailbox = mailbox
+        ev.sync_key = sync_key
+        ev.site = site
+        ev.callchain = callchain
+        ev.chunk = chunk
+        return ev
+
+    @classmethod
+    def fast_access(
+        cls,
+        kind: EventKind,
+        addr: int,
+        size: int,
+        nontemporal: bool,
+        relaxed: bool,
+        site: CodeSite,
+        callchain: Tuple[CodeSite, ...],
+    ) -> "Event":
+        """Skip-validation READ/WRITE constructor for stream expansion."""
+        ev = object.__new__(cls)
+        ev.kind = kind
+        ev.addr = addr
+        ev.size = size
+        ev.op = None
+        ev.nontemporal = nontemporal
+        ev.relaxed = relaxed
+        ev.fence_scope = "full"
+        ev.mailbox = None
+        ev.sync_key = None
+        ev.site = site
+        ev.callchain = callchain
+        ev.chunk = 0
+        return ev
+
+    @classmethod
+    def stream(
+        cls,
+        kind: EventKind,
+        addr: int,
+        size: int,
+        chunk: int,
+        nontemporal: bool = False,
+        relaxed: bool = False,
+        site: CodeSite = UNKNOWN_SITE,
+        callchain: Tuple[CodeSite, ...] = (),
+    ) -> "Event":
+        """A batched run of sequential accesses over ``[addr, addr+size)``.
+
+        ``kind`` may be the per-access kind (READ/WRITE) or the stream
+        kind directly.  The machine expands the run into one access per
+        ``chunk`` bytes (the last access may be shorter), each counting
+        as one retired instruction — exactly the sequence
+        ``ThreadCtx.write_block``/``read_block`` would have yielded
+        event-by-event.
+        """
+        if kind is EventKind.READ:
+            kind = EventKind.STREAM_READ
+        elif kind is EventKind.WRITE:
+            kind = EventKind.STREAM_WRITE
+        if kind not in STREAM_KINDS:
+            raise SimulationError(f"stream events must be READ or WRITE runs, got {kind!r}")
+        return cls(
+            kind,
+            addr=addr,
+            size=size,
+            chunk=chunk,
+            nontemporal=nontemporal,
+            relaxed=relaxed,
+            site=site,
+            callchain=callchain,
+        )
+
+    @property
+    def access_kind(self) -> EventKind:
+        """The per-access kind a stream expands to (identity otherwise)."""
+        return _STREAM_ACCESS_KIND.get(self.kind, self.kind)
+
+    @property
+    def access_count(self) -> int:
+        """Retired instructions this event stands for (streams: one per chunk)."""
+        if self.kind in STREAM_KINDS:
+            return -(-self.size // self.chunk)
+        if self.kind is EventKind.COMPUTE:
+            return self.size
+        return 1
+
+    # -- equality / repr ----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return all(getattr(self, f) == getattr(other, f) for f in _EVENT_FIELDS)
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.addr, self.size, self.fence_scope, self.chunk))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.kind.name]
+        for name in _EVENT_FIELDS[1:]:
+            value = getattr(self, name)
+            if value not in (0, None, False, (), "full", UNKNOWN_SITE):
+                parts.append(f"{name}={value!r}")
+        return f"Event({', '.join(parts)})"
+
+    # -- classification -----------------------------------------------------
 
     @property
     def is_memory_access(self) -> bool:
         """True for events that read or write program data."""
-        return self.kind in (EventKind.READ, EventKind.WRITE, EventKind.ATOMIC)
+        return self.kind in _MEMORY_KINDS
 
     @property
     def is_store(self) -> bool:
@@ -173,7 +382,11 @@ class Event:
 
     def lines(self, line_size: int) -> range:
         """The cache-line numbers this event's byte range covers."""
-        if not (self.is_memory_access or self.kind is EventKind.PRESTORE):
+        if not (
+            self.is_memory_access
+            or self.kind is EventKind.PRESTORE
+            or self.kind in STREAM_KINDS
+        ):
             return range(0)
         first = self.addr // line_size
         last = (self.addr + self.size - 1) // line_size
@@ -183,7 +396,15 @@ class Event:
         if self.kind is EventKind.COMPUTE:
             return f"compute({self.size})"
         if self.kind is EventKind.FENCE:
-            return "fence"
+            # Scope matters for diagnostics: a load/acquire fence neither
+            # drains the store buffer nor orders writes.
+            return f"fence({self.fence_scope})"
         extra = f", op={self.op}" if self.op else ""
         nt = ", nt" if self.nontemporal else ""
-        return f"{self.kind.value}(addr={self.addr:#x}, size={self.size}{extra}{nt})"
+        rl = ", relaxed" if self.relaxed else ""
+        if self.kind in STREAM_KINDS:
+            return (
+                f"{self.kind.value}(addr={self.addr:#x}, size={self.size}, "
+                f"chunk={self.chunk}{nt}{rl})"
+            )
+        return f"{self.kind.value}(addr={self.addr:#x}, size={self.size}{extra}{nt}{rl})"

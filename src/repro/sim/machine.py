@@ -22,6 +22,7 @@ seconds; all experiments report relative numbers (see DESIGN.md §1).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -29,7 +30,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.sim.cache import CacheHierarchy, CacheLevel, CacheLevelSpec
 from repro.sim.coherence import VisibilityModel
 from repro.sim.cpu import Core
-from repro.sim.event import Event, EventKind
+from repro.sim.event import STREAM_KINDS, Event, EventKind
 from repro.sim.memory import (
     DeviceSpec,
     MemoryDevice,
@@ -126,7 +127,6 @@ class Machine:
                 ls,
                 spec.line_size,
                 make_policy(spec.replacement_policy, seed=spec.seed + i),
-                hashed_index=ls.hashed_index,
             )
             for i, ls in enumerate(spec.cache_levels)
         ]
@@ -262,11 +262,40 @@ class Machine:
                     for observer in observers:
                         observer.record(core.stats.core_id, event, index, 0.0)
                 continue
+            if event.kind in STREAM_KINDS:
+                # Expand the run here, in a tight loop, instead of paying
+                # one generator round trip per access.  The core keeps
+                # executing accesses only while its clock would still win
+                # the min() pick above: strictly below every live thread
+                # listed before it, at-or-below every one after (min()
+                # returns the first minimal element).  Other cores' clocks
+                # cannot change while this core runs, so the bounds stay
+                # valid for the whole burst.
+                strict = loose = math.inf
+                seen = False
+                for e in live:
+                    if e is entry:
+                        seen = True
+                        continue
+                    c = e[0].clock
+                    if seen:
+                        if c < loose:
+                            loose = c
+                    elif c < strict:
+                        strict = c
+                leftover = self._run_stream(core, event, strict, loose)
+                if leftover is not None:
+                    entry[2] = leftover
+                continue
             self.step(core, event)
         return self.finish()
 
     def step(self, core: Core, event: Event) -> None:
         """Execute one event on one core (tracing included)."""
+        if event.kind in STREAM_KINDS:
+            # Direct callers (tests, tools) get the whole run at once.
+            self._run_stream(core, event)
+            return
         weight = event.size if event.kind is EventKind.COMPUTE else 1
         self._instr_index += weight
         index = core.stats.instructions  # per-core, pre-retirement
@@ -276,6 +305,90 @@ class Machine:
         if observers:
             for observer in observers:
                 observer.record(core.stats.core_id, event, index, core.clock - before)
+
+    def _run_stream(
+        self,
+        core: Core,
+        event: Event,
+        strict_limit: float = math.inf,
+        loose_limit: float = math.inf,
+    ) -> Optional[Event]:
+        """Execute (part of) a stream event on ``core``.
+
+        Returns ``None`` when the run completed, or the event mutated to
+        its unexecuted tail when the scheduler bounds preempted it.
+
+        Observer fan-out preserves per-access granularity: unless *every*
+        attached observer declares ``accepts_streams = True``, the stream
+        is unrolled through :meth:`step` one access at a time, so
+        DirtBuster tracers, the sanitizer, and obs samplers see exactly
+        the records the reference vocabulary produces.  With no
+        observers (or only batch-aware ones) the fused core fast path
+        runs; batch-aware observers then receive one record covering the
+        executed portion of the run.
+        """
+        observers = self._dispatch
+        if observers and not all(
+            getattr(o, "accepts_streams", False) for o in observers
+        ):
+            return self._unroll_stream(core, event, strict_limit, loose_limit)
+        start_addr, start_size = event.addr, event.size
+        index = core.stats.instructions
+        before = core.clock
+        leftover = core.execute_stream(event, strict_limit, loose_limit)
+        self._instr_index += core.stats.instructions - index
+        if observers:
+            executed = start_size - (leftover.size if leftover is not None else 0)
+            if executed:
+                if leftover is None:
+                    record_event = event
+                else:
+                    record_event = Event.fast(
+                        kind=event.kind,
+                        addr=start_addr,
+                        size=executed,
+                        nontemporal=event.nontemporal,
+                        relaxed=event.relaxed,
+                        site=event.site,
+                        callchain=event.callchain,
+                        chunk=event.chunk,
+                    )
+                for observer in observers:
+                    observer.record(
+                        core.stats.core_id, record_event, index, core.clock - before
+                    )
+        return leftover
+
+    def _unroll_stream(
+        self, core: Core, event: Event, strict_limit: float, loose_limit: float
+    ) -> Optional[Event]:
+        """Expand a stream through :meth:`step`, one access per chunk.
+
+        This is the observer-fidelity path: every access becomes a real
+        READ/WRITE record (and a real ``step`` call, so span profilers
+        that wrap ``step`` see it too).  Events share the stream's
+        interned site, so provenance grouping is unchanged.
+        """
+        access_kind = (
+            EventKind.READ if event.kind is EventKind.STREAM_READ else EventKind.WRITE
+        )
+        addr, size, chunk = event.addr, event.size, event.chunk
+        nt, relaxed = event.nontemporal, event.relaxed
+        site, chain = event.site, event.callchain
+        offset = 0
+        while offset < size:
+            clock = core.clock
+            if not (clock < strict_limit and clock <= loose_limit):
+                event.addr = addr + offset
+                event.size = size - offset
+                return event
+            length = chunk if size - offset >= chunk else size - offset
+            self.step(
+                core,
+                Event.fast_access(access_kind, addr + offset, length, nt, relaxed, site, chain),
+            )
+            offset += length
+        return None
 
     def finish(self) -> RunResult:
         """Drain caches and devices, then snapshot statistics."""

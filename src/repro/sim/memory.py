@@ -246,7 +246,12 @@ class MemoryDevice:
         read_bw = self.spec.read_bandwidth_bytes_per_cycle or self.spec.bandwidth_bytes_per_cycle
         gran = self.spec.internal_granularity
         media_bytes = 0
-        for block in range(addr // gran, (addr + max(size, 1) - 1) // gran + 1):
+        first = addr // gran
+        last = (addr + max(size, 1) - 1) // gran
+        # Line fills rarely straddle an internal-granularity block; walk
+        # the single-block case without building a range object.
+        blocks = (first,) if first == last else range(first, last + 1)
+        for block in blocks:
             if block in self._read_buffer:
                 self._read_buffer.move_to_end(block)
                 continue

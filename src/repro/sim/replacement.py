@@ -41,6 +41,16 @@ class ReplacementPolicy(ABC):
 
     name: str = "abstract"
 
+    #: Contract: calling :meth:`on_access` repeatedly with the same way
+    #: (and no interleaved insert/victim) leaves the metadata in the same
+    #: state as calling it once, and draws no randomness.  All built-in
+    #: policies satisfy this (recency updates are absorbing; RNG is only
+    #: consumed by :meth:`victim`), which lets the simulator's fast paths
+    #: collapse the reference interpreter's repeated same-way touches
+    #: into one.  A subclass that counts accesses or randomises recency
+    #: must set this to False; the fast paths then replay every touch.
+    idempotent_on_access: bool = True
+
     @abstractmethod
     def new_set(self, ways: int) -> Any:
         """Create the metadata object for one ``ways``-wide set."""

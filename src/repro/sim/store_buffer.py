@@ -111,6 +111,17 @@ class StoreBuffer:
         """Lines whose buffered store has not started its round trip."""
         return [e.line for e in self._pending.values() if e.visible_time is None]
 
+    def peek_oldest(self) -> Optional[_Pending]:
+        """The front (oldest) entry, or None when empty.
+
+        Slots free in FIFO order, so this is the entry an overflow will
+        force visible next — the CPU's fused store loop uses it to stall
+        inline instead of re-entering :meth:`write`.
+        """
+        if not self._pending:
+            return None
+        return next(iter(self._pending.values()))
+
     # -- the write path ------------------------------------------------------
 
     def write(self, line: int, now: float, visibility: VisibilityFn) -> float:

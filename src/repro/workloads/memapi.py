@@ -19,6 +19,7 @@ provenance DirtBuster reports.
 
 from __future__ import annotations
 
+import os
 import random
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
@@ -115,11 +116,23 @@ class ThreadCtx:
     lets multiple thread bodies interleave by simulated time.
     """
 
-    def __init__(self, tid: int, allocator: Allocator, line_size: int, seed: int) -> None:
+    def __init__(
+        self,
+        tid: int,
+        allocator: Allocator,
+        line_size: int,
+        seed: int,
+        emit_streams: bool = False,
+    ) -> None:
         self.tid = tid
         self.allocator = allocator
         self.line_size = line_size
         self.rng = random.Random(seed)
+        #: When set, the block helpers emit one batched STREAM event per
+        #: run instead of one READ/WRITE per chunk.  The machine expands
+        #: streams with bit-identical semantics (DESIGN.md §11), so this
+        #: only changes interpretation speed, never results.
+        self.emit_streams = emit_streams
         self._site_stack: List[CodeSite] = []
         self._site_cache: Dict[Tuple[str, str, int], CodeSite] = {}
 
@@ -216,9 +229,23 @@ class ThreadCtx:
         """Sequential stores covering ``[addr, addr + size)``.
 
         Emits one store per ``chunk`` bytes (default: one per cache line),
-        the granularity real store instructions dirty lines at.
+        the granularity real store instructions dirty lines at.  With
+        :attr:`emit_streams` set, multi-access runs become one batched
+        STREAM_WRITE event the machine expands inline.
         """
         step = chunk or self.line_size
+        if self.emit_streams and size > step:
+            site, chain = self._provenance()
+            yield Event.stream(
+                EventKind.WRITE,
+                addr=addr,
+                size=size,
+                chunk=step,
+                nontemporal=nontemporal,
+                site=site,
+                callchain=chain,
+            )
+            return
         offset = 0
         while offset < size:
             length = min(step, size - offset)
@@ -230,6 +257,18 @@ class ThreadCtx:
     ) -> Iterator[Event]:
         """Sequential loads covering ``[addr, addr + size)``."""
         step = chunk or self.line_size
+        if self.emit_streams and size > step:
+            site, chain = self._provenance()
+            yield Event.stream(
+                EventKind.READ,
+                addr=addr,
+                size=size,
+                chunk=step,
+                relaxed=relaxed,
+                site=site,
+                callchain=chain,
+            )
+            return
         offset = 0
         while offset < size:
             length = min(step, size - offset)
@@ -251,8 +290,24 @@ class ThreadCtx:
         return self.write_block(addr, size, nontemporal=nontemporal)
 
 
+def _default_streams() -> bool:
+    """Batched emission is the default; REPRO_SIM_REFERENCE=1 opts out.
+
+    The reference (one event per access) vocabulary remains available
+    for debugging and for the equivalence suite, which runs both paths
+    and asserts bit-identical results.
+    """
+    return os.environ.get("REPRO_SIM_REFERENCE", "").lower() not in ("1", "true", "yes")
+
+
 class Program:
     """Binds thread bodies to a machine and runs them to completion.
+
+    ``streams`` selects the event vocabulary the block helpers use:
+    batched STREAM events (True, the default) or the reference one-event-
+    per-access form (False); ``None`` defers to the
+    ``REPRO_SIM_REFERENCE`` environment variable.  Results are
+    bit-identical either way (DESIGN.md §11).
 
     ``sanitize`` opts into the :mod:`repro.sanitize` dynamic passes:
     ``True`` attaches a default :class:`~repro.sanitize.Sanitizer`, or
@@ -271,6 +326,7 @@ class Program:
         seed: int = 1234,
         sanitize: "bool | Tracer" = False,
         obs: "bool | Tracer" = False,
+        streams: Optional[bool] = None,
     ) -> None:
         sanitizer: Optional[Tracer] = None
         if sanitize:
@@ -297,6 +353,7 @@ class Program:
         self.sanitizer = sanitizer
         self.allocator = Allocator(spec.line_size)
         self._seed = seed
+        self.streams = _default_streams() if streams is None else bool(streams)
         self._bodies: List[Iterator[Event]] = []
         self._contexts: List[ThreadCtx] = []
         self.work_items = 0
@@ -312,6 +369,7 @@ class Program:
             allocator=self.allocator,
             line_size=self.machine.line_size,
             seed=self._seed + 7919 * len(self._bodies),
+            emit_streams=self.streams,
         )
         self._contexts.append(ctx)
         self._bodies.append(body(ctx, *args, **kwargs))

@@ -91,10 +91,13 @@ class MGWorkload(NASWorkload):
         """One plane of r = v - A*u: stencil reads of U, sequential R writes."""
         with t.function("resid", file="mg.f90", line=544):
             for i2 in range(1, r.n2 - 1):
-                # Stencil reads: the row and its 8 neighbours.
+                # Stencil reads: the row and its 8 neighbours.  Rows
+                # i2-1..i2+1 of one plane are contiguous in memory, so
+                # each d3 plane contributes one 3-row run.
                 for d3 in (-1, 0, 1):
-                    for d2 in (-1, 0, 1):
-                        yield t.read(u.row_addr(i2 + d2, i3 + 1 + d3), u.row_bytes)
+                    yield from t.read_block(
+                        u.row_addr(i2 - 1, i3 + 1 + d3), 3 * u.row_bytes, chunk=u.row_bytes
+                    )
                 yield t.read(v.row_addr(i2, i3 + 1), v.row_bytes)
                 yield self.flops_row(t, r.n1)
                 yield from t.write_block(r.row_addr(i2, i3 + 1), r.row_bytes)

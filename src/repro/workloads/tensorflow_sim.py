@@ -105,8 +105,9 @@ class TensorFlowWorkload(Workload):
                     # Each evalPacket loads a previously written output
                     # packet (a[x] = f(a[x - 4*PacketSize])) — the
                     # dependency that makes skipping the cache backfire.
-                    for p in range(UNROLL):
-                        yield t.read(output + offset - chunk + p * PACKET, PACKET)
+                    # The previous chunk is always full, so this is one
+                    # packet-granular run over it.
+                    yield from t.read_block(output + offset - chunk, chunk, chunk=PACKET)
                 yield t.compute(UNROLL * 2)
                 yield from t.write_block(output + offset, length, nontemporal=nontemporal)
                 if mode.op is not None:

@@ -11,10 +11,11 @@ from repro.sim.replacement import make_policy
 
 def _level(size=1024, ways=2, line=64, policy="lru", name="L1", hashed=False, latency=4):
     return CacheLevel(
-        CacheLevelSpec(name=name, size_bytes=size, ways=ways, hit_latency=latency),
+        CacheLevelSpec(
+            name=name, size_bytes=size, ways=ways, hit_latency=latency, hashed_index=hashed
+        ),
         line,
         make_policy(policy, seed=3),
-        hashed_index=hashed,
     )
 
 
