@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint sanitize obs-demo bench bench-sim
+.PHONY: test lint sanitize obs-demo bench bench-sim faults
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +28,12 @@ bench:
 # bit-identity check between the two paths.  Writes BENCH_sim.json.
 bench-sim:
 	$(PYTHON) -m repro.sim.bench --out BENCH_sim.json
+
+# Crash-consistency self-check: seeded crash/fault matrix on machine A
+# and B-slow, asserting protocol durability, baseline vulnerability,
+# determinism, and the empty-plan bit-identity (CI's faults job).
+faults:
+	$(PYTHON) -m repro.faults matrix
 
 # Telemetry smoke: run one workload with obs attached, produce a
 # Perfetto trace artifact under build/, validate it, then run the

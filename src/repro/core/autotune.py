@@ -158,7 +158,9 @@ class AutoTuner:
             )
 
         if not adopted:
-            (outcome,) = execute_cells([cell(PatchConfig.baseline())], workers=self.workers)
+            (outcome,) = execute_cells(
+                [cell(PatchConfig.baseline())], workers=self.workers, on_error="raise"
+            )
             baseline = outcome.result
             return AutoTuneResult(
                 workload=probe.name,
@@ -172,7 +174,9 @@ class AutoTuner:
             )
         # Baseline and candidate are independent runs: one pool round trip.
         base_out, patched_out = execute_cells(
-            [cell(PatchConfig.baseline()), cell(patches)], workers=self.workers
+            [cell(PatchConfig.baseline()), cell(patches)],
+            workers=self.workers,
+            on_error="raise",
         )
         baseline, patched = base_out.result, patched_out.result
         new_diagnostics = self._new_diagnostics(baseline, patched) if self.sanitize else []

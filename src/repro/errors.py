@@ -152,6 +152,24 @@ class ExperimentError(ReproError):
     """An experiment failed to produce the data it promised."""
 
 
+class RunnerError(ReproError):
+    """The execution layer (pool, cache, cell scheduling) failed."""
+
+
+class CellExecutionError(RunnerError):
+    """One or more cells of a sweep failed (``on_error="raise"``).
+
+    Carries the *complete* outcome list — every successful cell's result
+    is still there, so a caller that catches this loses nothing but the
+    failed cells themselves.  Outcomes are typed loosely to keep this
+    module import-free; they are :class:`repro.runner.CellOutcome`.
+    """
+
+    def __init__(self, message: str, outcomes: Tuple[object, ...] = ()) -> None:
+        self.outcomes = tuple(outcomes)
+        super().__init__(message)
+
+
 class SanitizerError(ReproError):
     """A sanitizer pass found error-severity diagnostics.
 

@@ -7,6 +7,7 @@ Importing this package registers every experiment; use
 
 from repro.experiments import (  # noqa: F401  (imports register experiments)
     ablations,
+    fault_window,
     fig3_listing1,
     fig5_listing2,
     fig7_tensorflow,

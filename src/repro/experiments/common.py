@@ -84,5 +84,10 @@ def run_variants(
         )
         for mode in modes
     ]
-    outcomes = execute_cells(cells, workers=workers, cache=cache_dir, progress=progress)
+    # Experiments need every variant's numbers: a failed cell raises
+    # CellExecutionError (with all other outcomes attached) rather than
+    # silently feeding a None result into the figures.
+    outcomes = execute_cells(
+        cells, workers=workers, cache=cache_dir, progress=progress, on_error="raise"
+    )
     return {mode: outcome.result for mode, outcome in zip(modes, outcomes)}

@@ -1,0 +1,59 @@
+"""repro.faults: deterministic fault injection and crash consistency.
+
+The paper's mechanism — pre-stores controlling *when* dirty data reaches
+the persistent device — implies a question it never answers directly:
+what survives a crash?  This subsystem answers it:
+
+* a seeded, picklable :class:`~repro.faults.plan.FaultPlan` describes
+  crash points (event/cycle boundaries), transient read faults,
+  degraded-bandwidth phases, and the persistence domain (ADR combiner
+  vs media-only);
+* :func:`~repro.faults.harness.run_with_faults` runs any workload under
+  a plan, catches the simulated power failure, and captures the
+  :class:`~repro.faults.image.PersistentImage` — what the medium holds,
+  versus what was parked in store buffers, caches, and open combiner
+  entries;
+* :mod:`~repro.faults.recovery` replays workload durability logs
+  against the image (KV: every acked key readable; logs: prefix
+  durability per clwb/sfence rules);
+* :class:`~repro.faults.workloads.KVPersistWorkload` and
+  :class:`~repro.faults.workloads.LogAppendWorkload` implement the
+  persist protocols, with the pre-store mode as the protocol knob;
+* ``python -m repro.faults`` runs one faulted run or the
+  crash-consistency self-check matrix (the CI job).
+
+Runner integration: ``Cell(fault_plan=...)`` routes a cell through the
+harness; the report (image digest included) lands in
+``RunResult.extra["fault_report"]``, so pooled execution and the result
+cache see ordinary bit-stable RunResult JSON.  An empty plan is the
+identity: results are bit-identical to a plain run.
+
+See DESIGN.md §12 for the fault model and the persistence-image
+semantics on both machines.
+"""
+
+from repro.faults.harness import FaultRunReport, capture_image, run_with_faults
+from repro.faults.image import PersistentImage
+from repro.faults.injector import CrashSignal, FaultDevice, FaultInjector
+from repro.faults.plan import BandwidthPhase, CrashPoint, FaultPlan, ReadFault
+from repro.faults.recovery import AckRecord, DurabilityLog, check_durability
+from repro.faults.workloads import KVPersistWorkload, LogAppendWorkload
+
+__all__ = [
+    "AckRecord",
+    "BandwidthPhase",
+    "CrashPoint",
+    "CrashSignal",
+    "DurabilityLog",
+    "FaultDevice",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRunReport",
+    "KVPersistWorkload",
+    "LogAppendWorkload",
+    "PersistentImage",
+    "ReadFault",
+    "capture_image",
+    "check_durability",
+    "run_with_faults",
+]

@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.faults``."""
+
+import sys
+
+from repro.faults.cli import main
+
+sys.exit(main())

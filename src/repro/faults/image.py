@@ -1,0 +1,154 @@
+"""The persistent image: what the medium holds at the moment of a crash.
+
+Durability in this simulator is *version*-based.  Every store to a cache
+line bumps the line's version counter (the injector does this at the
+event boundary, before the store executes); the device tracker records
+which version of each line has been
+
+* **accepted** — handed to the device and sitting in a write-combiner
+  entry (Optane's ADR persistence domain: capacitors guarantee these
+  bytes reach the media on power fail), and
+* **media-committed** — written by the media itself when the combiner
+  entry closed.
+
+The persistent image is the pair of those maps, plus everything the
+crash *loses*: stores parked in CPU store buffers (TSO: visibility
+round trips in flight; weak: possibly not even started), dirty lines
+still resident in the caches, and the contents of open combiner entries
+when the device is not capacitor-backed.  Both machine models reduce to
+the same rule — a byte is durable iff it travelled past the point the
+model's fence/clean semantics push it to — because the tracking happens
+at the device boundary, below both visibility models.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["PersistentImage"]
+
+
+def _int_key_dict(data: Dict[int, int]) -> Dict[str, int]:
+    return {str(k): data[k] for k in sorted(data)}
+
+
+def _parse_int_keys(data: Dict[str, int]) -> Dict[int, int]:
+    return {int(k): int(v) for k, v in data.items()}
+
+
+@dataclass
+class PersistentImage:
+    """Media-visible state captured at a crash (or at clean shutdown)."""
+
+    machine_name: str
+    line_size: int
+    #: Whether write-combiner contents count as durable (ADR domain).
+    adr: bool
+    crashed: bool
+    crash_cycle: float
+    crash_instruction: int
+    #: line -> latest version the program wrote (the ground truth).
+    line_versions: Dict[int, int] = field(default_factory=dict)
+    #: line -> newest version accepted into the device's buffers.
+    accepted_versions: Dict[int, int] = field(default_factory=dict)
+    #: line -> newest version the media committed (combiner entry closed).
+    media_versions: Dict[int, int] = field(default_factory=dict)
+    #: Per-core lines whose stores sat in the store buffer at the crash.
+    store_buffer_lines: List[List[int]] = field(default_factory=list)
+    #: Lines dirty somewhere in the cache hierarchy at the crash.
+    dirty_cache_lines: List[int] = field(default_factory=list)
+    #: Open combiner entries at the crash: block -> lines pending in it.
+    combiner_pending: Dict[int, List[int]] = field(default_factory=dict)
+
+    # -- durability queries --------------------------------------------------
+
+    def durable_version(self, line: int) -> int:
+        """The newest version of ``line`` that survives the crash."""
+        media = self.media_versions.get(line, 0)
+        if not self.adr:
+            return media
+        return max(media, self.accepted_versions.get(line, 0))
+
+    def is_durable(self, line: int, version: int = 0) -> bool:
+        """Whether ``version`` (default: the latest written) survived."""
+        required = version or self.line_versions.get(line, 0)
+        return self.durable_version(line) >= required
+
+    def lost_lines(self) -> List[int]:
+        """Lines whose latest written version did not survive, sorted."""
+        return sorted(
+            line
+            for line, version in self.line_versions.items()
+            if self.durable_version(line) < version
+        )
+
+    def vulnerable_bytes(self) -> int:
+        """Bytes of written-but-lost data (the crash-vulnerable window)."""
+        return len(self.lost_lines()) * self.line_size
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "machine_name": self.machine_name,
+            "line_size": self.line_size,
+            "adr": self.adr,
+            "crashed": self.crashed,
+            "crash_cycle": self.crash_cycle,
+            "crash_instruction": self.crash_instruction,
+            "line_versions": _int_key_dict(self.line_versions),
+            "accepted_versions": _int_key_dict(self.accepted_versions),
+            "media_versions": _int_key_dict(self.media_versions),
+            "store_buffer_lines": [sorted(lines) for lines in self.store_buffer_lines],
+            "dirty_cache_lines": sorted(self.dirty_cache_lines),
+            "combiner_pending": {
+                str(block): sorted(self.combiner_pending[block])
+                for block in sorted(self.combiner_pending)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PersistentImage":
+        return cls(
+            machine_name=str(data["machine_name"]),
+            line_size=int(data["line_size"]),  # type: ignore[arg-type]
+            adr=bool(data["adr"]),
+            crashed=bool(data["crashed"]),
+            crash_cycle=float(data["crash_cycle"]),  # type: ignore[arg-type]
+            crash_instruction=int(data["crash_instruction"]),  # type: ignore[arg-type]
+            line_versions=_parse_int_keys(data.get("line_versions", {})),  # type: ignore[arg-type]
+            accepted_versions=_parse_int_keys(data.get("accepted_versions", {})),  # type: ignore[arg-type]
+            media_versions=_parse_int_keys(data.get("media_versions", {})),  # type: ignore[arg-type]
+            store_buffer_lines=[list(map(int, lines)) for lines in data.get("store_buffer_lines", [])],  # type: ignore[union-attr]
+            dirty_cache_lines=list(map(int, data.get("dirty_cache_lines", []))),  # type: ignore[arg-type]
+            combiner_pending={
+                int(block): list(map(int, lines))
+                for block, lines in data.get("combiner_pending", {}).items()  # type: ignore[union-attr]
+            },
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def digest(self) -> str:
+        """Stable content hash — what the determinism tests compare."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()[:16]
+
+    def summary(self) -> Dict[str, object]:
+        """Small human/report-facing digest of the image."""
+        lost = self.lost_lines()
+        return {
+            "crashed": self.crashed,
+            "adr": self.adr,
+            "written_lines": len(self.line_versions),
+            "durable_lines": len(self.line_versions) - len(lost),
+            "lost_lines": len(lost),
+            "vulnerable_bytes": self.vulnerable_bytes(),
+            "store_buffer_parked": sum(len(lines) for lines in self.store_buffer_lines),
+            "dirty_cache_lines": len(self.dirty_cache_lines),
+            "combiner_open_entries": len(self.combiner_pending),
+            "digest": self.digest(),
+        }

@@ -1,0 +1,200 @@
+"""Fault plans: the seeded, picklable description of what goes wrong.
+
+A :class:`FaultPlan` is plain frozen data — like
+:class:`~repro.runner.cells.Cell` it crosses process boundaries and
+feeds the cache key, so the same plan must mean the same faults on
+every worker.  It can describe:
+
+* one **crash point** (:class:`CrashPoint`): power fails at an event
+  boundary, selected by retired-instruction count or by core clock;
+* **transient read faults** (:class:`ReadFault`): the Nth device read
+  pays a recovery penalty (on-die ECC retry / media re-read);
+* **degraded-bandwidth phases** (:class:`BandwidthPhase`): windows of
+  simulated time where the media is partly busy with internal work
+  (refresh, wear levelling, thermal throttling), multiplying the
+  occupancy of every access;
+* the **persistence domain** (:attr:`FaultPlan.combiner_persistent`):
+  whether bytes accepted into the device's write combiner survive power
+  failure (ADR-style, Machine A's Optane DIMMs) or only bytes the media
+  committed do (the conservative model for cache-coherent FPGA / CXL
+  devices without capacitor backing).
+
+:meth:`FaultPlan.generate` derives all of it deterministically from a
+seed, so sweeps can scatter faults without hand-placing each one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["CrashPoint", "ReadFault", "BandwidthPhase", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """Where power fails.  Exactly one selector should be set."""
+
+    #: Crash when the machine-wide retired-instruction counter reaches
+    #: this value (checked at event boundaries, before the event runs).
+    at_instruction: Optional[int] = None
+    #: Crash when the executing core's clock reaches this cycle count.
+    at_cycle: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"at_instruction": self.at_instruction, "at_cycle": self.at_cycle}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CrashPoint":
+        cycle = data.get("at_cycle")
+        instr = data.get("at_instruction")
+        return cls(
+            at_instruction=None if instr is None else int(instr),  # type: ignore[arg-type]
+            at_cycle=None if cycle is None else float(cycle),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class ReadFault:
+    """The ``at_read``-th device read (1-based) pays a recovery penalty."""
+
+    at_read: int
+    extra_latency: float = 500.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"at_read": self.at_read, "extra_latency": self.extra_latency}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ReadFault":
+        return cls(at_read=int(data["at_read"]), extra_latency=float(data["extra_latency"]))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class BandwidthPhase:
+    """A window of degraded device bandwidth.
+
+    While ``start_cycle <= now < end_cycle`` every access's media
+    occupancy is multiplied by ``slowdown`` (the extra share models
+    internal maintenance traffic stealing the medium).
+    """
+
+    start_cycle: float
+    end_cycle: float
+    slowdown: float = 2.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "slowdown": self.slowdown,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BandwidthPhase":
+        return cls(
+            start_cycle=float(data["start_cycle"]),  # type: ignore[arg-type]
+            end_cycle=float(data["end_cycle"]),  # type: ignore[arg-type]
+            slowdown=float(data["slowdown"]),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong in one run, as frozen data."""
+
+    crash: Optional[CrashPoint] = None
+    read_faults: Tuple[ReadFault, ...] = field(default=())
+    bandwidth_phases: Tuple[BandwidthPhase, ...] = field(default=())
+    #: True: bytes accepted by the device's write combiner are inside the
+    #: persistence domain (ADR); False: only media-committed bytes are.
+    combiner_persistent: bool = True
+    #: Provenance when built by :meth:`generate`; informational only.
+    seed: Optional[int] = None
+
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing (the identity plan)."""
+        return not (self.crash or self.read_faults or self.bandwidth_phases)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "crash": None if self.crash is None else self.crash.to_dict(),
+            "read_faults": [f.to_dict() for f in self.read_faults],
+            "bandwidth_phases": [p.to_dict() for p in self.bandwidth_phases],
+            "combiner_persistent": self.combiner_persistent,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        crash = data.get("crash")
+        seed = data.get("seed")
+        return cls(
+            crash=None if crash is None else CrashPoint.from_dict(crash),  # type: ignore[arg-type]
+            read_faults=tuple(ReadFault.from_dict(f) for f in data.get("read_faults", ())),  # type: ignore[union-attr]
+            bandwidth_phases=tuple(
+                BandwidthPhase.from_dict(p) for p in data.get("bandwidth_phases", ())  # type: ignore[union-attr]
+            ),
+            combiner_persistent=bool(data.get("combiner_persistent", True)),
+            seed=None if seed is None else int(seed),  # type: ignore[arg-type]
+        )
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def crash_at(cls, instruction: int, combiner_persistent: bool = True) -> "FaultPlan":
+        """A plan that only crashes, at the given instruction count."""
+        return cls(
+            crash=CrashPoint(at_instruction=int(instruction)),
+            combiner_persistent=combiner_persistent,
+        )
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        crash_window: Optional[Tuple[int, int]] = None,
+        read_fault_count: int = 0,
+        read_window: Tuple[int, int] = (1, 2000),
+        phase_count: int = 0,
+        phase_window: Tuple[float, float] = (0.0, 200_000.0),
+        phase_length: float = 20_000.0,
+        slowdown: float = 2.0,
+        combiner_persistent: bool = True,
+    ) -> "FaultPlan":
+        """Derive a plan deterministically from ``seed``.
+
+        ``crash_window`` picks the crash instruction uniformly inside
+        ``[lo, hi)``; ``read_fault_count`` read faults are scattered over
+        ``read_window`` (1-based read indices); ``phase_count`` degraded
+        phases of ``phase_length`` cycles start inside ``phase_window``.
+        """
+        rng = random.Random(seed)
+        crash = None
+        if crash_window is not None:
+            lo, hi = crash_window
+            crash = CrashPoint(at_instruction=rng.randrange(int(lo), int(hi)))
+        reads = tuple(
+            ReadFault(at_read=idx)
+            for idx in sorted(rng.sample(range(read_window[0], read_window[1]), read_fault_count))
+        )
+        phases = []
+        for _ in range(phase_count):
+            start = rng.uniform(phase_window[0], phase_window[1])
+            phases.append(
+                BandwidthPhase(
+                    start_cycle=round(start, 3),
+                    end_cycle=round(start + phase_length, 3),
+                    slowdown=slowdown,
+                )
+            )
+        phases.sort(key=lambda p: p.start_cycle)
+        return cls(
+            crash=crash,
+            read_faults=reads,
+            bandwidth_phases=tuple(phases),
+            combiner_persistent=combiner_persistent,
+            seed=seed,
+        )

@@ -1,0 +1,158 @@
+"""Recovery checks: replay durability invariants against a crash image.
+
+Workloads that participate in crash testing keep a
+:class:`DurabilityLog`: every time they acknowledge an operation to
+their (simulated) client — a KV ``put`` returning, a log append
+completing — they append an :class:`AckRecord` naming the cache lines
+the operation's data lives in and the store versions the device had
+accepted responsibility for at that point.
+
+After a crash, :func:`check_durability` replays the log against the
+captured :class:`~repro.faults.image.PersistentImage`:
+
+* ``kv`` — every acknowledged key must be readable: all of its lines
+  durable at (or past) the acked version.  The classic persist-protocol
+  invariant (clwb + sfence before the ack).
+* ``prefix`` — a sequential log must be durable *as a prefix* of ack
+  order: the first lost record bounds what recovery may trust, and any
+  later record that happens to be durable is an out-of-order hole the
+  recovery code must discard.
+
+Checks report structured dictionaries (JSON-stable, sorted) rather than
+raising: experiments compare them across pre-store modes, and tests
+assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.image import PersistentImage
+
+__all__ = ["AckRecord", "DurabilityLog", "check_durability"]
+
+#: Cap on how many offending keys/indices a report enumerates.
+_REPORT_LIMIT = 32
+
+
+@dataclass(frozen=True)
+class AckRecord:
+    """One acknowledged operation: its data's lines and store versions."""
+
+    index: int
+    key: str
+    lines: Tuple[int, ...]
+    #: line -> store version the ack promises durable (0 = any version).
+    versions: Tuple[Tuple[int, int], ...] = ()
+
+    def required_version(self, line: int) -> int:
+        for recorded, version in self.versions:
+            if recorded == line:
+                return version
+        return 0
+
+
+class DurabilityLog:
+    """Ack stream a workload emits while running (in simulated order)."""
+
+    def __init__(self) -> None:
+        self.records: List[AckRecord] = []
+
+    def ack(self, key: str, lines: Iterable[int], device: object = None) -> AckRecord:
+        """Record an acknowledgement for the data on ``lines``.
+
+        When ``device`` is a fault-tracking device its per-line store
+        versions are snapshotted, pinning exactly *which* write the ack
+        covers (later rewrites of the same line don't retroactively
+        satisfy it).  Under a plain device versions default to 0, which
+        :meth:`AckRecord.required_version` treats as "latest".
+        """
+        line_tuple = tuple(sorted(set(lines)))
+        versions = getattr(device, "line_versions", None) or {}
+        record = AckRecord(
+            index=len(self.records),
+            key=str(key),
+            lines=line_tuple,
+            versions=tuple((line, versions.get(line, 0)) for line in line_tuple),
+        )
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "records": [
+                {
+                    "index": r.index,
+                    "key": r.key,
+                    "lines": list(r.lines),
+                    "versions": [list(pair) for pair in r.versions],
+                }
+                for r in self.records
+            ]
+        }
+
+
+def _record_durable(record: AckRecord, image: PersistentImage) -> bool:
+    return all(
+        image.is_durable(line, record.required_version(line) or image.line_versions.get(line, 0))
+        for line in record.lines
+    )
+
+
+def _check_kv(log: DurabilityLog, image: PersistentImage) -> Dict[str, object]:
+    lost: List[str] = []
+    for record in log.records:
+        if not _record_durable(record, image):
+            lost.append(record.key)
+    lost_sorted = sorted(set(lost))
+    return {
+        "kind": "kv",
+        "ok": not lost_sorted,
+        "acked": len(log.records),
+        "lost_count": len(lost_sorted),
+        "lost_keys": lost_sorted[:_REPORT_LIMIT],
+    }
+
+
+def _check_prefix(log: DurabilityLog, image: PersistentImage) -> Dict[str, object]:
+    durable_flags = [_record_durable(record, image) for record in log.records]
+    prefix_len = 0
+    for flag in durable_flags:
+        if not flag:
+            break
+        prefix_len += 1
+    #: Records durable *past* the first gap: out-of-order survivors the
+    #: recovery procedure must truncate away.
+    holes = [i for i in range(prefix_len, len(durable_flags)) if durable_flags[i]]
+    lost = [i for i, flag in enumerate(durable_flags) if not flag]
+    return {
+        "kind": "prefix",
+        "ok": prefix_len == len(log.records),
+        "acked": len(log.records),
+        "durable_prefix": prefix_len,
+        "lost_count": len(lost),
+        "lost_indices": lost[:_REPORT_LIMIT],
+        "holes": holes[:_REPORT_LIMIT],
+    }
+
+
+_CHECKS = {"kv": _check_kv, "prefix": _check_prefix}
+
+
+def check_durability(
+    kind: str, log: Optional[DurabilityLog], image: PersistentImage
+) -> Dict[str, object]:
+    """Run the named recovery check; returns a JSON-stable report."""
+    check = _CHECKS.get(kind)
+    if check is None:
+        raise ConfigurationError(
+            f"unknown recovery kind {kind!r} (expected one of {sorted(_CHECKS)})"
+        )
+    if log is None:
+        log = DurabilityLog()
+    return check(log, image)

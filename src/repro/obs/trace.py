@@ -174,6 +174,33 @@ class TraceBuilder:
             }
         )
 
+    def instant(
+        self,
+        name: str,
+        ts: float,
+        pid: int = DEVICE_PID,
+        tid: int = 0,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Emit an instant ("i") marker — crash points, injected faults.
+
+        Markers are process-scoped so they render as full-height lines in
+        the viewer; they are never dropped by the slice cap (a handful of
+        faults must stay visible however long the run).
+        """
+        self._events.append(
+            {
+                "name": name,
+                "cat": "fault",
+                "ph": "i",
+                "s": "p",
+                "pid": pid,
+                "tid": tid,
+                "ts": ts,
+                "args": args or {},
+            }
+        )
+
     def finish(self, machine: "Machine", result: "RunResult") -> None:
         for core_id, phase in sorted(self._phase.items()):
             self._emit_phase(core_id, phase)

@@ -18,6 +18,7 @@ See DESIGN.md ("The runner") for the sharding model and cache-key
 contract.
 """
 
+from repro.errors import CellExecutionError, RunnerError
 from repro.runner.cache import ResultCache
 from repro.runner.cells import Cell, CellRun, cache_key, code_fingerprint, describe_factory, run_cell
 from repro.runner.pool import (
@@ -31,8 +32,10 @@ from repro.runner.pool import (
 __all__ = [
     "Cell",
     "CellRun",
+    "CellExecutionError",
     "CellOutcome",
     "ResultCache",
+    "RunnerError",
     "RunnerSession",
     "active_session",
     "cache_key",

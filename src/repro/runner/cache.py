@@ -22,9 +22,12 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 from repro.runner.cells import Cell, cache_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.stats import RunResult
 
 __all__ = ["ResultCache"]
 
@@ -36,6 +39,7 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     # -- key plumbing -------------------------------------------------------
 
@@ -61,6 +65,39 @@ class ResultCache:
         self.hits += 1
         return text
 
+    def load_result(self, key: str) -> Optional[Tuple[str, "RunResult"]]:
+        """Load and *validate* an entry: ``(payload_text, RunResult)``.
+
+        A payload that exists but does not parse back into a
+        :class:`~repro.sim.stats.RunResult` (torn write from a crashed
+        run, disk corruption, truncation) is treated as a miss: the
+        entry is evicted so the slot gets rewritten, and ``None`` is
+        returned instead of letting ``RunResult.from_json`` explode in
+        the caller.
+        """
+        from repro.sim.stats import RunResult
+
+        text = self.load(key)
+        if text is None:
+            return None
+        try:
+            return text, RunResult.from_json(text)
+        except Exception:
+            # The hit was illusory: re-book it as a miss and drop the entry.
+            self.hits -= 1
+            self.misses += 1
+            self.corrupt += 1
+            self.evict(key)
+            return None
+
+    def evict(self, key: str) -> None:
+        """Remove one entry (payload + meta sidecar), ignoring races."""
+        for path in (self._payload_path(key), self._meta_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def load_meta(self, key: str) -> Dict[str, object]:
         try:
             return json.loads(self._meta_path(key).read_text())
@@ -81,6 +118,11 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w") as fh:
                 fh.write(text)
+                # Reach the medium before the rename publishes the entry:
+                # os.replace is only atomic for data already durable, and
+                # this cache's whole point is surviving crashed runs.
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -108,4 +150,9 @@ class ResultCache:
         return removed
 
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "entries": len(self),
+        }

@@ -26,11 +26,14 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.prestore import PatchConfig, PrestoreMode
 from repro.sim.machine import MachineSpec
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["Cell", "CellRun", "run_cell", "describe_factory", "cache_key", "code_fingerprint"]
 
@@ -54,6 +57,11 @@ class Cell:
     patches: Optional[PatchConfig] = field(default=None, compare=False)
     #: Owning experiment id, for log context (optional).
     experiment: Optional[str] = None
+    #: Deterministic fault plan; a non-empty plan routes the cell through
+    #: :func:`repro.faults.run_with_faults` and lands the crash report in
+    #: ``result.extra["fault_report"]``.  None (or an empty plan) is the
+    #: plain, bit-identical run.
+    fault_plan: Optional["FaultPlan"] = None
 
 
 @dataclass(frozen=True)
@@ -106,9 +114,29 @@ def run_cell(cell: Cell) -> CellRun:
     run_id = cell_run_id(cell, workload.name)
     worker = f"pid{os.getpid()}"
     with run_context(run_id=run_id, experiment_id=cell.experiment, worker=worker):
-        result = workload.run(
-            cell.spec, config, seed=cell.seed, sanitize=cell.sanitize, obs=cell.obs
-        ).run
+        if cell.fault_plan is not None and not cell.fault_plan.is_empty():
+            from repro.faults.harness import run_with_faults
+
+            report = run_with_faults(
+                workload,
+                cell.spec,
+                cell.fault_plan,
+                patches=config,
+                seed=cell.seed,
+                sanitize=cell.sanitize,
+                obs=cell.obs,
+            )
+            result = report.result
+            # The report (image digest included) rides inside the
+            # RunResult, so caching and determinism checks cover it.
+            doc = report.to_dict(include_image=False)
+            if report.image is not None:
+                doc["image_digest"] = report.image.digest()
+            result.extra["fault_report"] = doc
+        else:
+            result = workload.run(
+                cell.spec, config, seed=cell.seed, sanitize=cell.sanitize, obs=cell.obs
+            ).run
     return CellRun(
         result_json=result.to_json(),
         workload=workload.name,
@@ -191,6 +219,7 @@ def cache_key(cell: Cell) -> Optional[str]:
         "endorsed_only": cell.endorsed_only,
         "obs": bool(cell.obs),
         "sanitize": bool(cell.sanitize),
+        "faults": None if cell.fault_plan is None else cell.fault_plan.to_dict(),
         "code": code_fingerprint(),
     }
     payload = json.dumps(doc, sort_keys=True, default=repr)

@@ -1,4 +1,4 @@
-"""Process-pool execution of cells, with caching and progress fan-in.
+"""Process-pool execution of cells, with caching, retries, and fault tolerance.
 
 :func:`execute_cells` is the one entry point: it resolves each cell
 against the :class:`~repro.runner.cache.ResultCache` (when one is
@@ -8,7 +8,28 @@ outcomes in cell order.  Because every cell constructs its workload
 and machine fresh inside :func:`~repro.runner.cells.run_cell`, the
 serialised results are bit-identical however the cells were scheduled.
 
-:func:`runner_session` sets ambient worker-count/cache defaults so
+A sweep is never lost to one bad cell.  Every cell produces a
+:class:`CellOutcome` whose ``status`` says how it ended:
+
+``"ok"`` / ``"cached"``
+    A result, freshly simulated or bit-identical from the cache.
+``"failed"``
+    The cell raised (after ``retries`` bounded-backoff re-attempts) or
+    repeatedly took the worker process down with it.
+``"timeout"``
+    The cell exceeded ``timeout_s``; its worker is abandoned, the rest
+    of the sweep continues.  Timeouts are not retried.
+
+A worker process dying (``BrokenProcessPool``) kills every in-flight
+future, so the driver rebuilds the pool — up to :data:`MAX_POOL_RESTARTS`
+times — and requeues the unfinished cells; a cell that brings the pool
+down :data:`MAX_CELL_BREAKS` times is marked failed instead of requeued,
+and once restarts are exhausted whatever remains runs inline.  With
+``on_error="raise"`` (what :func:`~repro.experiments.common.run_variants`
+and the AutoTuner use) any non-ok outcome raises
+:class:`~repro.errors.CellExecutionError` carrying the full outcome list.
+
+:func:`runner_session` sets ambient worker-count/cache/retry defaults so
 callers several layers up (the experiment CLI) can parallelise every
 ``run_variants`` underneath without threading arguments through each
 experiment's ``run`` method.
@@ -18,38 +39,82 @@ from __future__ import annotations
 
 import pickle
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterator, List, Optional, Sequence, Union
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.errors import CellExecutionError, RunnerError
 from repro.obs.log import get_logger
 from repro.runner.cache import ResultCache
 from repro.runner.cells import Cell, CellRun, cell_run_id, run_cell
 from repro.sim.stats import RunResult
 
-__all__ = ["CellOutcome", "execute_cells", "runner_session", "active_session", "RunnerSession"]
+__all__ = [
+    "CellOutcome",
+    "execute_cells",
+    "runner_session",
+    "active_session",
+    "RunnerSession",
+    "MAX_POOL_RESTARTS",
+    "MAX_CELL_BREAKS",
+]
 
 _log = get_logger("runner")
 
 Progress = Optional[Callable[[str], None]]
 
+#: How many times one ``execute_cells`` call rebuilds a broken process
+#: pool before running whatever is left inline.
+MAX_POOL_RESTARTS = 2
+#: A cell whose worker dies with the pool this many times is marked
+#: failed rather than requeued — it is almost certainly the killer.
+MAX_CELL_BREAKS = 2
+
 
 @dataclass
 class CellOutcome:
-    """One cell's result plus how it was obtained."""
+    """One cell's result plus how it was obtained (or why it wasn't)."""
 
     cell: Cell
-    result: RunResult
+    #: None when :attr:`status` is ``"failed"`` or ``"timeout"``.
+    result: Optional[RunResult]
     #: The canonical serialised form (what the cache stores and what
-    #: determinism tests compare).
-    result_json: str
+    #: determinism tests compare); None when there is no result.
+    result_json: Optional[str]
     run_id: str
     #: ``pid<N>`` of the process that simulated, or ``"cache"``.
     worker: str
     cached: bool
     wall_s: float
+    #: ``"ok"`` | ``"cached"`` | ``"failed"`` | ``"timeout"``.
+    status: str = "ok"
+    #: Human-readable failure description (non-ok outcomes only).
+    error: Optional[str] = None
+    #: Execution attempts consumed (0 for cache hits).
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+
+@dataclass
+class _Job:
+    """One pending cell: scheduling state the driver threads through."""
+
+    index: int
+    cell: Cell
+    key: Optional[str]
+    #: The cell pickled exactly once in the parent (None: unpicklable).
+    payload: Optional[bytes] = None
+    #: Execution attempts consumed so far.
+    attempts: int = 0
+    #: Times this job's future died with the pool (BrokenProcessPool).
+    breaks: int = 0
 
 
 @dataclass
@@ -58,6 +123,9 @@ class RunnerSession:
 
     workers: int = 1
     cache: Optional[ResultCache] = None
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    backoff_s: float = 0.5
     _executor: Optional[ProcessPoolExecutor] = None
 
     def executor(self) -> Optional[ProcessPoolExecutor]:
@@ -65,6 +133,12 @@ class RunnerSession:
         if self.workers > 1 and self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.workers)
         return self._executor
+
+    def invalidate_executor(self) -> None:
+        """Drop a broken pool so the next call builds a fresh one."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
 
     def close(self) -> None:
         if self._executor is not None:
@@ -81,19 +155,27 @@ def active_session() -> Optional[RunnerSession]:
 
 @contextmanager
 def runner_session(
-    workers: int = 1, cache_dir: Optional[Union[str, Path]] = None
+    workers: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    timeout_s: Optional[float] = None,
+    retries: int = 0,
+    backoff_s: float = 0.5,
 ) -> Iterator[RunnerSession]:
     """Install ambient runner defaults (and one shared process pool).
 
     Every :func:`execute_cells` call inside the block — including the
     ones ``run_variants`` makes on behalf of registered experiments —
-    inherits ``workers`` and the cache unless explicitly overridden.
+    inherits ``workers``, the cache, and the retry policy unless
+    explicitly overridden.
     """
     global _session
     previous = _session
     session = RunnerSession(
         workers=max(1, int(workers)),
         cache=ResultCache(cache_dir) if cache_dir is not None else None,
+        timeout_s=timeout_s,
+        retries=max(0, int(retries)),
+        backoff_s=backoff_s,
     )
     _session = session
     try:
@@ -109,12 +191,22 @@ def _coerce_cache(cache: Union[ResultCache, str, Path, None]) -> Optional[Result
     return ResultCache(cache)
 
 
-def _picklable(cell: Cell) -> bool:
-    try:
-        pickle.dumps(cell)
-        return True
-    except Exception:
-        return False
+def _run_pickled(payload: bytes) -> CellRun:
+    """Worker entry point: the parent pickled the cell exactly once.
+
+    Shipping the pre-pickled bytes (instead of the cell object) means
+    the cell graph is serialised a single time per submission — the old
+    path pickled it twice, once in a probe and again inside ``submit``.
+    """
+    return run_cell(pickle.loads(payload))
+
+
+class _PoolBroke(Exception):
+    """Internal: the process pool died while ``job`` was in flight."""
+
+    def __init__(self, job: _Job) -> None:
+        self.job = job
+        super().__init__("process pool broke")
 
 
 def execute_cells(
@@ -122,113 +214,348 @@ def execute_cells(
     workers: Optional[int] = None,
     cache: Union[ResultCache, str, Path, None] = None,
     progress: Progress = None,
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+    backoff_s: Optional[float] = None,
+    on_error: str = "return",
 ) -> List[CellOutcome]:
-    """Run every cell; results come back in cell order.
+    """Run every cell; outcomes come back in cell order, one per cell.
 
-    ``workers``/``cache`` default to the ambient :func:`runner_session`
-    (serial, uncached when none is active).  Cache hits skip simulation
-    entirely — the workload factory is never called.  Cells whose
+    ``workers``/``cache``/retry policy default to the ambient
+    :func:`runner_session` (serial, uncached, no retries when none is
+    active).  Cache hits skip simulation entirely — the workload factory
+    is never called — and a stored payload that fails to parse is
+    treated as a miss and evicted, not an exception.  Cells whose
     factory cannot pickle (lambdas, closures) fall back to inline
     execution instead of failing; they produce identical results, just
     without the parallelism.
+
+    ``on_error="return"`` reports failures as structured outcomes
+    (``status``/``error``/``attempts``); ``"raise"`` raises
+    :class:`~repro.errors.CellExecutionError` after the whole sweep ran,
+    with every outcome attached.
     """
+    if on_error not in ("return", "raise"):
+        raise RunnerError(f'on_error must be "return" or "raise", got {on_error!r}')
     session = _session
     if workers is None:
         workers = session.workers if session is not None else 1
     workers = max(1, int(workers))
+    if timeout_s is None and session is not None:
+        timeout_s = session.timeout_s
+    if retries is None:
+        retries = session.retries if session is not None else 0
+    retries = max(0, int(retries))
+    if backoff_s is None:
+        backoff_s = session.backoff_s if session is not None else 0.5
     resolved_cache = _coerce_cache(cache)
     if resolved_cache is None and session is not None:
         resolved_cache = session.cache
 
     total = len(cells)
     outcomes: List[Optional[CellOutcome]] = [None] * total
-    pending: List[tuple] = []  # (index, cell, key)
+    jobs: List[_Job] = []
 
     for i, cell in enumerate(cells):
         key = resolved_cache.key_for(cell) if resolved_cache is not None else None
         if key is not None:
-            text = resolved_cache.load(key)
-            if text is not None:
+            loaded = resolved_cache.load_result(key)
+            if loaded is not None:
+                text, result = loaded
                 meta = resolved_cache.load_meta(key)
                 run_id = str(meta.get("run_id", key[:12]))
                 outcomes[i] = CellOutcome(
                     cell=cell,
-                    result=RunResult.from_json(text),
+                    result=result,
                     result_json=text,
                     run_id=run_id,
                     worker="cache",
                     cached=True,
                     wall_s=0.0,
+                    status="cached",
+                    attempts=0,
                 )
                 _emit(progress, f"[{i + 1}/{total}] {run_id}: cache hit")
                 continue
-        pending.append((i, cell, key))
+        jobs.append(_Job(index=i, cell=cell, key=key))
 
-    def finish(index: int, cell: Cell, key: Optional[str], run: CellRun) -> None:
-        if key is not None and resolved_cache is not None:
+    def finish(job: _Job, run: CellRun) -> None:
+        if job.key is not None and resolved_cache is not None:
             resolved_cache.store(
-                key,
+                job.key,
                 run.result_json,
                 meta={
                     "run_id": run.run_id,
                     "workload": run.workload,
-                    "machine": cell.spec.name,
-                    "seed": cell.seed,
+                    "machine": job.cell.spec.name,
+                    "seed": job.cell.seed,
                     "worker": run.worker,
                     "wall_s": run.wall_s,
                 },
             )
         result = RunResult.from_json(run.result_json)
-        outcomes[index] = CellOutcome(
-            cell=cell,
+        outcomes[job.index] = CellOutcome(
+            cell=job.cell,
             result=result,
             result_json=run.result_json,
             run_id=run.run_id,
             worker=run.worker,
             cached=False,
             wall_s=run.wall_s,
+            status="ok",
+            attempts=max(1, job.attempts),
         )
         _emit(
             progress,
-            f"[{index + 1}/{total}] {run.run_id}: {result.cycles:,.0f} cycles, "
+            f"[{job.index + 1}/{total}] {run.run_id}: {result.cycles:,.0f} cycles, "
             f"WA={result.write_amplification:.2f}x ({run.wall_s:.2f}s wall, {run.worker})",
         )
 
-    inline: List[tuple] = []
-    if workers > 1 and pending:
-        executor: Optional[ProcessPoolExecutor] = None
-        own_executor = False
-        if session is not None and session.workers == workers:
-            executor = session.executor()
-        if executor is None:
-            executor = ProcessPoolExecutor(max_workers=workers)
-            own_executor = True
-        try:
-            futures = {}
-            for i, cell, key in pending:
-                if _picklable(cell):
-                    futures[executor.submit(run_cell, cell)] = (i, cell, key)
-                else:
-                    _log.info(
-                        "%s", f"cell {cell_run_id(cell, '?')}: factory not picklable, running inline"
-                    )
-                    inline.append((i, cell, key))
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    i, cell, key = futures[future]
-                    finish(i, cell, key, future.result())
-        finally:
-            if own_executor:
-                executor.shutdown()
+    def fail(job: _Job, status: str, error: str) -> None:
+        run_id = cell_run_id(job.cell, "?")
+        outcomes[job.index] = CellOutcome(
+            cell=job.cell,
+            result=None,
+            result_json=None,
+            run_id=run_id,
+            worker="none",
+            cached=False,
+            wall_s=0.0,
+            status=status,
+            error=error,
+            attempts=max(1, job.attempts),
+        )
+        _emit(progress, f"[{job.index + 1}/{total}] {run_id}: {status.upper()} — {error}")
+
+    inline: List[_Job] = []
+    pooled: List[_Job] = []
+    if workers > 1 and jobs:
+        for job in jobs:
+            try:
+                job.payload = pickle.dumps(job.cell)
+            except Exception:
+                _log.info(
+                    "%s",
+                    f"cell {cell_run_id(job.cell, '?')}: factory not picklable, running inline",
+                )
+                inline.append(job)
+            else:
+                pooled.append(job)
     else:
-        inline = pending
+        inline = jobs
 
-    for i, cell, key in inline:
-        finish(i, cell, key, run_cell(cell))
+    if pooled:
+        leftovers = _drive_pool(
+            pooled, workers, session, timeout_s, retries, backoff_s, finish, fail
+        )
+        inline.extend(leftovers)
 
-    return [o for o in outcomes if o is not None]
+    for job in inline:
+        _run_inline(job, retries, backoff_s, finish, fail)
+
+    missing = [i for i, o in enumerate(outcomes) if o is None]
+    if missing:  # pragma: no cover - every path above fills its slot
+        raise RunnerError(f"internal: cells {missing} produced no outcome")
+    complete: List[CellOutcome] = [o for o in outcomes if o is not None]
+    failed = [o for o in complete if not o.ok]
+    if failed and on_error == "raise":
+        head = "; ".join(f"{o.run_id}: {o.error}" for o in failed[:3])
+        more = "" if len(failed) <= 3 else f" (+{len(failed) - 3} more)"
+        raise CellExecutionError(
+            f"{len(failed)}/{total} cells failed: {head}{more}", tuple(complete)
+        )
+    return complete
+
+
+def _drive_pool(
+    pooled: Sequence[_Job],
+    workers: int,
+    session: Optional[RunnerSession],
+    timeout_s: Optional[float],
+    retries: int,
+    backoff_s: float,
+    finish: Callable[[_Job, CellRun], None],
+    fail: Callable[[_Job, str, str], None],
+) -> List[_Job]:
+    """Run picklable jobs through a pool; returns jobs left for inline.
+
+    Survives worker death.  ``BrokenProcessPool`` fails *every* in-flight
+    future at once, so the killer cannot be identified from the wreckage:
+    everything that was in flight goes to quarantine, the pool is rebuilt
+    (bounded by :data:`MAX_POOL_RESTARTS`), and quarantined jobs are then
+    re-probed **one at a time** — a solo probe that takes the pool down is
+    blamed with certainty and marked failed; a probe that completes is
+    exonerated.  Quarantined jobs never fall back to inline execution (a
+    genuine killer would take the parent process with it); only clean
+    jobs are returned for inline when restarts are exhausted.
+    """
+    queue: Deque[_Job] = deque(pooled)
+    quarantine: Deque[_Job] = deque()
+    restarts = 0
+    while queue or quarantine:
+        executor, own = _acquire_executor(session, workers)
+        futures: Dict[Future, _Job] = {}
+        deadlines: Dict[Future, float] = {}
+        timed_out = False
+        probe: Optional[_Job] = None
+
+        def submit(job: _Job) -> None:
+            try:
+                future = executor.submit(_run_pickled, job.payload)
+            except BrokenProcessPool:
+                raise _PoolBroke(job)
+            futures[future] = job
+            if timeout_s is not None:
+                deadlines[future] = time.monotonic() + timeout_s
+
+        def refill() -> None:
+            nonlocal probe
+            while queue and len(futures) < workers:
+                submit(queue.popleft())
+            if not futures and quarantine:
+                probe = quarantine.popleft()
+                _log.info(
+                    "%s",
+                    f"cell {cell_run_id(probe.cell, '?')}: re-probing solo "
+                    f"after a pool break",
+                )
+                submit(probe)
+
+        try:
+            refill()
+            while futures:
+                done, _ = wait(
+                    set(futures), timeout=_poll_timeout(deadlines), return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    job = futures.pop(future)
+                    deadlines.pop(future, None)
+                    if job is probe:
+                        probe = None
+                    try:
+                        run = future.result()
+                    except BrokenProcessPool:
+                        raise _PoolBroke(job)
+                    except Exception as exc:
+                        job.attempts += 1
+                        if job.attempts <= retries:
+                            delay = backoff_s * (2 ** (job.attempts - 1))
+                            _log.info(
+                                "%s",
+                                f"cell {cell_run_id(job.cell, '?')}: attempt "
+                                f"{job.attempts} failed ({exc!r}); retrying in {delay:.2f}s",
+                            )
+                            time.sleep(delay)
+                            submit(job)
+                        else:
+                            fail(job, "failed", f"{type(exc).__name__}: {exc}")
+                    else:
+                        job.attempts += 1
+                        finish(job, run)
+                now = time.monotonic()
+                for future in [f for f, dl in deadlines.items() if dl <= now]:
+                    job = futures.pop(future)
+                    deadlines.pop(future)
+                    if job is probe:
+                        probe = None
+                    future.cancel()  # queued: cancelled; running: abandoned
+                    timed_out = True
+                    job.attempts += 1
+                    fail(job, "timeout", f"cell exceeded timeout_s={timeout_s}")
+                refill()
+        except _PoolBroke as broke:
+            restarts += 1
+            in_flight = [broke.job] + [j for j in futures.values() if j is not broke.job]
+            futures.clear()
+            deadlines.clear()
+            _log.warning(
+                "%s",
+                f"process pool broke (restart {restarts}/{MAX_POOL_RESTARTS}); "
+                f"{len(in_flight)} cells were in flight",
+            )
+            if own:
+                executor.shutdown(wait=False, cancel_futures=True)
+            elif session is not None:
+                session.invalidate_executor()
+            for job in sorted(in_flight, key=lambda j: j.index):
+                job.breaks += 1
+                if job is broke.job and probe is broke.job:
+                    # It was alone in the pool: certain blame.
+                    fail(
+                        job,
+                        "failed",
+                        f"worker process died while running this cell "
+                        f"(solo probe, {job.breaks} pool break(s))",
+                    )
+                elif job.breaks >= MAX_CELL_BREAKS:
+                    fail(
+                        job,
+                        "failed",
+                        f"worker process died with this cell in flight "
+                        f"{job.breaks} times",
+                    )
+                else:
+                    quarantine.append(job)
+            if restarts > MAX_POOL_RESTARTS:
+                for job in sorted(quarantine, key=lambda j: j.index):
+                    fail(
+                        job,
+                        "failed",
+                        "pool restarts exhausted; cell was in flight during a "
+                        "break and is not safe to run inline",
+                    )
+                _log.warning(
+                    "%s",
+                    f"pool restarts exhausted; running {len(queue)} clean cells inline",
+                )
+                return sorted(queue, key=lambda j: j.index)
+        else:
+            if own:
+                # A timed-out worker may still be running; don't block on it.
+                executor.shutdown(wait=not timed_out, cancel_futures=timed_out)
+    return []
+
+
+def _acquire_executor(
+    session: Optional[RunnerSession], workers: int
+) -> Tuple[ProcessPoolExecutor, bool]:
+    """The session's shared pool when it matches, else a private one."""
+    if session is not None and session.workers == workers:
+        executor = session.executor()
+        if executor is not None:
+            return executor, False
+    return ProcessPoolExecutor(max_workers=workers), True
+
+
+def _poll_timeout(deadlines: Dict[Future, float]) -> Optional[float]:
+    """How long ``wait`` may block before a deadline needs checking."""
+    if not deadlines:
+        return None
+    return max(0.0, min(deadlines.values()) - time.monotonic())
+
+
+def _run_inline(
+    job: _Job,
+    retries: int,
+    backoff_s: float,
+    finish: Callable[[_Job, CellRun], None],
+    fail: Callable[[_Job, str, str], None],
+) -> None:
+    """Serial execution with the same bounded-retry policy as the pool."""
+    while True:
+        try:
+            run = run_cell(job.cell)
+        except Exception as exc:
+            job.attempts += 1
+            if job.attempts <= retries:
+                time.sleep(backoff_s * (2 ** (job.attempts - 1)))
+                continue
+            fail(job, "failed", f"{type(exc).__name__}: {exc}")
+            return
+        else:
+            job.attempts += 1
+            finish(job, run)
+            return
 
 
 def _emit(progress: Progress, message: str) -> None:

@@ -408,6 +408,28 @@ class Machine:
                 finish(self, result)
         return result
 
+    def abort(self) -> RunResult:
+        """Snapshot statistics *without* draining: crash semantics.
+
+        At a simulated power failure nothing gets written back — caches,
+        store buffers and device queues are simply abandoned, so the
+        persistent image the fault harness captures afterwards reflects
+        only what already crossed the device boundary.  Observers'
+        ``finish`` hooks still run (samplers publish their timelines);
+        the machine is finished afterwards (single-use, like
+        :meth:`finish`).
+        """
+        if self._finished:
+            raise SimulationError("abort() called on a finished machine")
+        self._finished = True
+        end = max((c.clock for c in self.cores), default=0.0)
+        result = self._snapshot(end, end)
+        for observer in self._dispatch:
+            finish = getattr(observer, "finish", None)
+            if finish is not None:
+                finish(self, result)
+        return result
+
     def _snapshot(self, cycles: float, cycles_with_drain: float) -> RunResult:
         for core in self.cores:
             core.stats.cycles = core.clock

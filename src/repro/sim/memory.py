@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, List, Optional
 
 from repro.errors import ConfigurationError
 
@@ -115,13 +115,28 @@ class WriteCombiner:
     the same open entry and merge perfectly; scrambled streams thrash.
     """
 
-    def __init__(self, granularity: int, entries: int) -> None:
+    def __init__(
+        self,
+        granularity: int,
+        entries: int,
+        on_close: Optional[Callable[[int], None]] = None,
+    ) -> None:
         self.granularity = granularity
         self.capacity = entries
         #: block number -> bytes merged so far (insertion ordered).
         self._open: "OrderedDict[int, int]" = OrderedDict()
         self.merges = 0
         self.closes = 0
+        #: Optional hook fired with the block number of every entry that
+        #: closes (eviction or flush).  The fault-injection tracker uses
+        #: it to learn exactly when pending bytes become media-durable;
+        #: timing and statistics are unaffected when unset.
+        self.on_close = on_close
+
+    def _close_entry(self, block: int) -> None:
+        self.closes += 1
+        if self.on_close is not None:
+            self.on_close(block)
 
     def block_of(self, addr: int) -> int:
         return addr // self.granularity
@@ -136,13 +151,17 @@ class WriteCombiner:
             block_end = (block + 1) * self.granularity
             chunk = min(remaining, block_end - offset)
             if block in self._open:
-                self._open[block] += chunk
+                # Re-merges of the same line arrive repeatedly (hot-line
+                # writebacks); the entry can never hold more than the
+                # block's granularity worth of distinct bytes, so clamp
+                # instead of accumulating unboundedly.
+                self._open[block] = min(self.granularity, self._open[block] + chunk)
                 self._open.move_to_end(block)
                 self.merges += 1
             else:
                 if len(self._open) >= self.capacity:
-                    self._open.popitem(last=False)
-                    self.closes += 1
+                    evicted, _ = self._open.popitem(last=False)
+                    self._close_entry(evicted)
                     closed += 1
                 self._open[block] = chunk
             offset += chunk
@@ -152,9 +171,14 @@ class WriteCombiner:
     def flush(self) -> int:
         """Close all open entries; returns how many closed."""
         closed = len(self._open)
-        self.closes += closed
+        for block in list(self._open):
+            self._close_entry(block)
         self._open.clear()
         return closed
+
+    def open_blocks(self) -> List[int]:
+        """Block numbers currently open, oldest first."""
+        return list(self._open)
 
     @property
     def open_entries(self) -> int:

@@ -34,10 +34,13 @@ PAPER_IDS = {
 
 ABLATION_IDS = {"abl-replacement", "abl-combiner", "abl-ycsb-mixes", "abl-granularity"}
 
+#: Beyond-the-paper artifacts (ROADMAP extensions) that register too.
+EXTRA_IDS = {"faults-window"}
+
 
 class TestRegistry:
     def test_every_paper_artifact_registered(self):
-        assert set(all_ids()) == PAPER_IDS | ABLATION_IDS
+        assert set(all_ids()) == PAPER_IDS | ABLATION_IDS | EXTRA_IDS
 
     def test_get_unknown_raises(self):
         with pytest.raises(ExperimentError):

@@ -1,0 +1,276 @@
+"""repro.faults: determinism, crash semantics, recovery, and the identity."""
+
+import functools
+import json
+
+import pytest
+
+from repro.core.prestore import PrestoreMode
+from repro.faults import (
+    CrashPoint,
+    FaultPlan,
+    KVPersistWorkload,
+    LogAppendWorkload,
+    PersistentImage,
+    ReadFault,
+    run_with_faults,
+)
+from repro.faults.cli import main as faults_main
+from repro.runner import Cell, execute_cells
+from repro.sim.machine import (
+    machine_a,
+    machine_a_cxl,
+    machine_b_fast,
+    machine_b_slow,
+    machine_dram,
+)
+
+PRESETS = [machine_a, machine_dram, machine_a_cxl, machine_b_fast, machine_b_slow]
+
+
+def _clean_patches(workload):
+    from repro.core.prestore import PatchConfig
+
+    config = PatchConfig.baseline()
+    for site in workload.patch_sites():
+        config.set_mode(site.name, PrestoreMode.CLEAN)
+    return config
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_empty(self):
+        assert FaultPlan().is_empty()
+        assert not FaultPlan(crash=CrashPoint(at_instruction=5)).is_empty()
+        assert not FaultPlan(read_faults=(ReadFault(at_read=3),)).is_empty()
+
+    def test_round_trips_through_dict(self):
+        plan = FaultPlan.generate(seed=11, crash_window=(100, 200), read_fault_count=2)
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again == plan
+
+    def test_generate_is_seed_deterministic(self):
+        a = FaultPlan.generate(seed=3, crash_window=(10, 99), read_fault_count=3)
+        b = FaultPlan.generate(seed=3, crash_window=(10, 99), read_fault_count=3)
+        c = FaultPlan.generate(seed=4, crash_window=(10, 99), read_fault_count=3)
+        assert a == b
+        assert a != c
+
+
+class TestEmptyPlanIdentity:
+    """The acceptance criterion: no faults injected => bit-identical results."""
+
+    @pytest.mark.parametrize("preset", PRESETS, ids=lambda p: p.__name__)
+    @pytest.mark.parametrize("streams", [True, False], ids=["fast-path", "reference"])
+    def test_no_fault_results_bit_identical_on_every_preset(self, preset, streams):
+        spec = preset()
+        plain = (
+            LogAppendWorkload(record_size=256, records=24)
+            .run(spec, streams=streams)
+            .run.to_json()
+        )
+        report = run_with_faults(
+            LogAppendWorkload(record_size=256, records=24),
+            spec,
+            FaultPlan(),
+            streams=streams,
+        )
+        assert report.result.to_json() == plain
+        assert report.image is None and not report.crashed
+
+
+class TestCrashDeterminism:
+    PLAN = FaultPlan(crash=CrashPoint(at_instruction=120))
+
+    def _cell(self):
+        return Cell(
+            make_workload=functools.partial(KVPersistWorkload, operations=48),
+            spec=machine_a(),
+            mode=PrestoreMode.CLEAN,
+            seed=9,
+            fault_plan=self.PLAN,
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_same_plan_same_seed_bit_identical_at_any_worker_count(self, workers):
+        (ref,) = execute_cells([self._cell()], workers=1)
+        out = execute_cells([self._cell(), self._cell()], workers=workers)
+        assert [o.result_json for o in out] == [ref.result_json] * 2
+        report = ref.result.extra["fault_report"]
+        assert report["crashed"] is True
+        assert report["image_digest"]
+
+    def test_harness_report_json_is_stable(self):
+        kwargs = dict(seed=9, patches=_clean_patches(KVPersistWorkload()))
+        a = run_with_faults(KVPersistWorkload(operations=48), machine_a(), self.PLAN, **kwargs)
+        b = run_with_faults(KVPersistWorkload(operations=48), machine_a(), self.PLAN, **kwargs)
+        assert a.to_json() == b.to_json()
+        assert a.image.digest() == b.image.digest()
+
+    def test_image_round_trips_through_dict(self):
+        report = run_with_faults(
+            KVPersistWorkload(operations=48),
+            machine_a(),
+            self.PLAN,
+            seed=9,
+        )
+        image = PersistentImage.from_dict(report.image.to_dict())
+        assert image.to_json() == report.image.to_json()
+        assert image.digest() == report.image.digest()
+
+
+class TestRecovery:
+    def _run(self, workload, mode, plan, spec=None):
+        from repro.core.prestore import PatchConfig
+
+        config = PatchConfig.baseline()
+        for site in workload.patch_sites():
+            config.set_mode(site.name, mode)
+        return run_with_faults(workload, spec or machine_a(), plan, patches=config, seed=5)
+
+    def test_kv_clean_protocol_survives_any_crash(self):
+        report = self._run(
+            KVPersistWorkload(operations=64),
+            PrestoreMode.CLEAN,
+            FaultPlan(crash=CrashPoint(at_instruction=150)),
+        )
+        assert report.crashed
+        assert report.recovery["ok"], report.recovery
+
+    def test_kv_baseline_loses_acked_keys(self):
+        report = self._run(
+            KVPersistWorkload(operations=64),
+            PrestoreMode.NONE,
+            FaultPlan(crash=CrashPoint(at_instruction=100)),
+        )
+        assert report.crashed
+        assert not report.recovery["ok"]
+        assert report.recovery["lost_count"] > 0
+        assert report.recovery["lost_keys"]
+
+    def test_log_prefix_durability_under_clean(self):
+        report = self._run(
+            LogAppendWorkload(records=60),
+            PrestoreMode.CLEAN,
+            FaultPlan(crash=CrashPoint(at_instruction=200)),
+        )
+        assert report.crashed
+        recovery = report.recovery
+        assert recovery["ok"], recovery
+        # Everything acked before the crash is the durable prefix.
+        assert recovery["durable_prefix"] == recovery["acked"]
+
+    def test_log_baseline_crash_truncates_with_holes(self):
+        report = self._run(
+            LogAppendWorkload(records=60),
+            PrestoreMode.NONE,
+            FaultPlan(crash=CrashPoint(at_instruction=80)),
+        )
+        assert report.crashed
+        assert not report.recovery["ok"]
+        assert report.recovery["lost_count"] > 0
+
+    def test_skip_mode_is_durable_under_adr(self):
+        # NT stores are accepted by the device before the fence, but they
+        # sit in open write-combiner entries: durable exactly because ADR
+        # flushes the combiner on power fail (the paper's Table 1 setup).
+        report = self._run(
+            KVPersistWorkload(operations=64),
+            PrestoreMode.SKIP,
+            FaultPlan(crash=CrashPoint(at_instruction=150)),
+        )
+        assert report.crashed
+        assert report.recovery["ok"], report.recovery
+
+    def test_skip_mode_without_adr_strands_accepted_bytes(self):
+        # Media-only persistence: sfence ordered the NT stores into the
+        # device, but open combiner entries never reached the medium.
+        report = self._run(
+            KVPersistWorkload(operations=64),
+            PrestoreMode.SKIP,
+            FaultPlan(crash=CrashPoint(at_instruction=150), combiner_persistent=False),
+        )
+        assert report.crashed
+        assert report.recovery["lost_count"] > 0
+
+    def test_no_adr_strands_open_combiner_entries(self):
+        # Media-only persistence: an acked line still sitting in an open
+        # write-combiner entry does not survive, so the durable count can
+        # only shrink relative to the ADR image.
+        plan_adr = FaultPlan(crash=CrashPoint(at_instruction=150))
+        plan_raw = FaultPlan(
+            crash=CrashPoint(at_instruction=150), combiner_persistent=False
+        )
+        adr = self._run(KVPersistWorkload(operations=64), PrestoreMode.CLEAN, plan_adr)
+        raw = self._run(KVPersistWorkload(operations=64), PrestoreMode.CLEAN, plan_raw)
+        assert len(raw.image.lost_lines()) >= len(adr.image.lost_lines())
+
+
+class TestDeviceFaults:
+    def test_read_faults_and_degraded_phases_are_counted(self):
+        plan = FaultPlan(
+            read_faults=(ReadFault(at_read=1), ReadFault(at_read=3)),
+            bandwidth_phases=FaultPlan.generate(
+                seed=2, phase_count=1, phase_window=(0, 10_000), phase_length=50_000
+            ).bandwidth_phases,
+        )
+        report = run_with_faults(
+            KVPersistWorkload(operations=48), machine_a(), plan, seed=5
+        )
+        assert not report.crashed
+        assert report.read_faults_injected >= 1
+
+    def test_read_fault_latency_slows_the_run(self):
+        # Needs *demand* reads: RFO fills from store drains deliberately
+        # don't stall the core, so a write-only workload would hide the
+        # injected latency.  YCSB mix A is half GETs.
+        from repro.workloads.kv import CLHTWorkload, YCSBSpec
+
+        def reader():
+            return CLHTWorkload(
+                YCSBSpec(mix="A", num_keys=256, operations=300, value_size=256)
+            )
+
+        base = run_with_faults(
+            reader(),
+            machine_a(),
+            FaultPlan(read_faults=(ReadFault(at_read=10**9),)),
+            seed=5,
+        )
+        # Read indices are 1-based; blanket the first 200 reads so some
+        # land on core-stalling demand reads.
+        faults = tuple(
+            ReadFault(at_read=i, extra_latency=2000.0) for i in range(1, 201)
+        )
+        slow = run_with_faults(
+            reader(), machine_a(), FaultPlan(read_faults=faults), seed=5
+        )
+        assert slow.read_faults_injected > 0
+        assert slow.result.cycles > base.result.cycles
+
+
+class TestCLI:
+    def test_run_reports_json(self, capsys):
+        rc = faults_main(
+            ["run", "--workload", "kvpersist", "--mode", "clean", "--crash-frac", "0.5"]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["crashed"] is True
+        assert doc["recovery"]["ok"] is True
+        assert doc["image_summary"]["digest"]
+
+    def test_run_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            faults_main(["run", "--machine", "pdp11"])
+
+
+class TestExperiment:
+    def test_faults_window_is_registered_and_checks(self):
+        from repro.experiments import get
+
+        result = get("faults-window").run_checked(fast=True, seed=1234)
+        assert not any(n.startswith("SHAPE CHECK FAILED") for n in result.notes), result.notes
+        by_mode = {row.config["mode"]: row for row in result.rows}
+        assert by_mode["none"].metric("lost_acked") > 0
+        assert by_mode["clean"].metric("lost_acked") == 0
+        assert by_mode["skip"].metric("lost_acked") == 0

@@ -61,6 +61,33 @@ class TestWriteCombiner:
         wc.add(128, 256)  # touches blocks 0 and 1
         assert wc.open_entries == 2
 
+    def test_repeated_writebacks_of_same_line_clamp_at_granularity(self):
+        # Hot-line writebacks re-merge into the same open entry; the
+        # merged-byte count must saturate at the block size instead of
+        # accumulating unboundedly.
+        wc = WriteCombiner(granularity=256, entries=8)
+        for _ in range(100):
+            wc.add(0, 64)
+        assert wc.merges == 99
+        # 100 x 64B re-merges saturate at 256, not 6400.
+        assert wc._open[0] == 256
+        for _ in range(50):
+            wc.add(64, 64)  # a different line of the same block: still full
+        assert wc._open[0] == 256
+        assert wc.open_entries == 1
+        assert wc.flush() == 1
+
+    def test_on_close_fires_for_eviction_and_flush(self):
+        closed = []
+        wc = WriteCombiner(granularity=256, entries=2, on_close=closed.append)
+        wc.add(0, 64)
+        wc.add(4096, 64)
+        wc.add(8192, 64)  # evicts block 0 (FIFO)
+        assert closed == [0]
+        wc.flush()
+        assert closed == [0, 4096 // 256, 8192 // 256]
+        assert wc.closes == 3
+
 
 class TestMemoryDevice:
     def test_sequential_writebacks_no_amplification(self):
