@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint sanitize obs-demo bench bench-sim faults
+.PHONY: test lint sanitize obs-demo bench bench-sim faults crashcheck
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +34,13 @@ bench-sim:
 # determinism, and the empty-plan bit-identity (CI's faults job).
 faults:
 	$(PYTHON) -m repro.faults matrix
+
+# Static crash-consistency verification self-check: protocol
+# classification expectations plus the static<->dynamic differential
+# matrix on machine A and B-slow, ADR and media-only, pre-store
+# protocols off and on (CI's crashcheck job).
+crashcheck:
+	$(PYTHON) -m repro.crashcheck self
 
 # Telemetry smoke: run one workload with obs attached, produce a
 # Perfetto trace artifact under build/, validate it, then run the

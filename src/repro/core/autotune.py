@@ -38,9 +38,11 @@ class AutoTuneResult:
     patched: Optional[RunResult]
     #: True when the patches were kept (they helped).
     kept: bool
-    #: Sanitizer findings present in the patched run but not the baseline
-    #: (only populated with ``AutoTuner(sanitize=True)``); any entry
-    #: vetoes the patches regardless of speedup.
+    #: Findings that vetoed the patches regardless of speedup: sanitizer
+    #: diagnostics the patched run added over the baseline (with
+    #: ``AutoTuner(sanitize=True)``), or static crash-consistency errors
+    #: the candidate configuration added (with ``AutoTuner(crashcheck=True)``
+    #: — those reject the patches before the patched run is even spent).
     new_diagnostics: List[Diagnostic] = field(default_factory=list)
     #: Per-candidate timeline aggregates keyed "baseline"/"patched"
     #: (only populated with ``AutoTuner(obs=True)``): mean/peak write
@@ -84,6 +86,7 @@ class AutoTuner:
         sanitize: bool = False,
         obs: bool = False,
         workers: Optional[int] = None,
+        crashcheck: bool = False,
     ) -> None:
         if min_speedup <= 0:
             raise AnalysisError(f"min_speedup must be positive, got {min_speedup}")
@@ -104,6 +107,12 @@ class AutoTuner:
         #: :attr:`AutoTuneResult.candidate_metrics` and the timelines on
         #: the ``RunResult``\ s, so a rejected patch can be diagnosed.
         self.obs = obs
+        #: Statically verify crash consistency (:mod:`repro.crashcheck`)
+        #: before measuring: candidate patches whose static report carries
+        #: error-severity diagnostics absent from the baseline's are
+        #: rejected without spending the patched measurement run at all —
+        #: a ``demote`` that drops durability loses before it races.
+        self.crashcheck = crashcheck
 
     # -- advice translation -----------------------------------------------
 
@@ -157,7 +166,11 @@ class AutoTuner:
                 patches=config,
             )
 
-        if not adopted:
+        gate: List[Diagnostic] = []
+        if adopted and self.crashcheck:
+            gate = self.crashcheck_gate(workload_factory, spec, patches, seed=seed)
+
+        if not adopted or gate:
             (outcome,) = execute_cells(
                 [cell(PatchConfig.baseline())], workers=self.workers, on_error="raise"
             )
@@ -170,6 +183,7 @@ class AutoTuner:
                 baseline=baseline,
                 patched=None,
                 kept=False,
+                new_diagnostics=gate,
                 candidate_metrics=self._candidate_metrics(baseline, None),
             )
         # Baseline and candidate are independent runs: one pool round trip.
@@ -195,6 +209,32 @@ class AutoTuner:
             new_diagnostics=new_diagnostics,
             candidate_metrics=self._candidate_metrics(baseline, patched),
         )
+
+    def crashcheck_gate(
+        self,
+        workload_factory,
+        spec: MachineSpec,
+        patches: PatchConfig,
+        seed: int = 1234,
+    ) -> List[Diagnostic]:
+        """Error-severity crashcheck findings the candidate patches add.
+
+        Statically verifies fresh workload instances under the baseline
+        and the candidate configuration; returns the candidate's
+        error-severity diagnostics whose (rule, site) key the baseline
+        does not already carry.  Any entry vetoes the patches before the
+        patched measurement run is spent.
+        """
+        from repro.crashcheck import check_workload
+
+        base = check_workload(
+            workload_factory(), spec, patches=PatchConfig.baseline(), seed=seed
+        )
+        candidate = check_workload(workload_factory(), spec, patches=patches, seed=seed)
+        known = {d.key for d in base.diagnostics}
+        return [
+            d for d in candidate.diagnostics if d.severity == "error" and d.key not in known
+        ]
 
     @staticmethod
     def _candidate_metrics(

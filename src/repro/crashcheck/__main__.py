@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.crashcheck``."""
+
+import sys
+
+from repro.crashcheck.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,230 @@
+"""IR extraction: walk a workload's event stream without executing it.
+
+The static verifier needs exactly the instruction stream the machine
+would execute — the same per-access expansion of batched STREAM events,
+the same instruction indexing, the same durability-log ack boundaries —
+but with no simulated time.  :func:`extract_ir` builds a
+:class:`ProgramIR` by constructing a real
+:class:`~repro.workloads.memapi.Program` (so allocation, seeding and
+patch resolution happen exactly as in a run) and then draining the
+spawned generators directly.
+
+Three details make the extracted indices line up bit-exactly with the
+dynamic fault injector on single-threaded programs:
+
+* ``Machine.step`` adds ``event.size`` to the instruction counter for
+  COMPUTE and 1 for everything else, and a fault-injected run unrolls
+  stream events one access per ``chunk`` bytes.  The extractor
+  reproduces both rules, so a :class:`SymbolicOp`'s ``index`` is the
+  machine's ``instruction_count`` after that op retires.
+
+* The injector bumps per-line store versions in its *pre*-event hook and
+  :meth:`~repro.faults.recovery.DurabilityLog.ack` snapshots
+  ``device.line_versions`` from generator code that runs *between*
+  events.  The extractor assigns its own shared version dict onto the
+  program's device before spawning, so acks pin exactly the versions a
+  faulted run's :class:`~repro.faults.injector.FaultDevice` would record.
+
+* Generator code between two ``yield`` statements runs during the
+  ``next()`` that produces the later event — after the earlier event
+  executed, before the later one's pre-execution crash check.  An ack
+  drained while fetching event *k+1* therefore belongs to the boundary
+  *after* event *k*: ``FaultPlan.crash_at(boundary)`` crashes with the
+  ack recorded but nothing later executed.
+
+Multi-threaded programs are extracted thread-major (each generator
+drained to completion in spawn order), which does not match the
+machine's time-ordered interleaving; :attr:`ProgramIR.exact_indices` is
+False and downstream consumers treat indices as approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.prestore import PatchConfig, PrestoreOp
+from repro.faults.recovery import AckRecord
+from repro.sim.event import CodeSite, Event, EventKind, STREAM_KINDS
+from repro.sim.machine import MachineSpec
+from repro.workloads.base import Workload
+from repro.workloads.memapi import Program
+
+__all__ = ["SymbolicOp", "AckPoint", "ProgramIR", "extract_ir"]
+
+#: SymbolicOp kinds that persist data (reach the device's ADR domain).
+PERSIST_KINDS = ("clean", "nt-store")
+#: SymbolicOp kinds that dirty data.
+STORE_KINDS = ("store", "nt-store", "atomic")
+
+
+@dataclass(frozen=True)
+class SymbolicOp:
+    """One retired instruction of the extracted stream.
+
+    ``kind`` is one of ``store``/``nt-store``/``atomic``/``read``/
+    ``clean``/``demote``/``fence``/``load-fence``/``compute``/``post``/
+    ``wait``.  ``index`` is the machine instruction count *after* this op
+    retires.  ``versions`` carries, per covered line: the version this op
+    stored (store kinds) or the line's current version (prestore kinds).
+    """
+
+    kind: str
+    index: int
+    lines: Tuple[int, ...]
+    versions: Tuple[int, ...]
+    site: CodeSite
+    tid: int
+
+
+@dataclass(frozen=True)
+class AckPoint:
+    """One durability-log acknowledgement pinned to its event boundary.
+
+    ``boundary`` is the instruction count at which the ack was recorded:
+    a crash planned at ``at_instruction == boundary`` fires with this ack
+    in the log and nothing later executed.  ``op_pos`` is the position in
+    :attr:`ProgramIR.ops` the ack precedes (ops[:op_pos] retired first).
+    """
+
+    record: AckRecord
+    boundary: int
+    tid: int
+    op_pos: int
+
+
+@dataclass
+class ProgramIR:
+    """The extracted instruction stream plus its ack boundaries."""
+
+    workload: str
+    machine: str
+    line_size: int
+    patch_summary: str
+    ops: List[SymbolicOp]
+    acks: List[AckPoint]
+    instr_total: int
+    threads: int
+    #: True when indices are bit-exact against a (single-threaded)
+    #: machine run; multi-threaded extraction is thread-major and only
+    #: approximates the scheduler's interleaving.
+    exact_indices: bool
+    #: Final store version per line (the injector's version counters).
+    line_versions: Dict[int, int] = field(default_factory=dict)
+
+
+def _drain_acks(
+    records: List[AckRecord],
+    next_record: int,
+    boundary: int,
+    tid: int,
+    op_pos: int,
+    acks: List[AckPoint],
+) -> int:
+    while next_record < len(records):
+        acks.append(
+            AckPoint(record=records[next_record], boundary=boundary, tid=tid, op_pos=op_pos)
+        )
+        next_record += 1
+    return next_record
+
+
+def _process(
+    event: Event,
+    instr: int,
+    tid: int,
+    versions: Dict[int, int],
+    line_size: int,
+    ops: List[SymbolicOp],
+) -> int:
+    kind = event.kind
+    if kind in STREAM_KINDS:
+        # Same per-access unrolling a fault-injected machine performs.
+        for access in event.accesses():
+            instr = _process(access, instr, tid, versions, line_size, ops)
+        return instr
+    instr += event.size if kind is EventKind.COMPUTE else 1
+    if kind is EventKind.WRITE or kind is EventKind.ATOMIC:
+        lines = tuple(event.lines(line_size))
+        for line in lines:
+            versions[line] = versions.get(line, 0) + 1
+        stored = tuple(versions[line] for line in lines)
+        if kind is EventKind.ATOMIC:
+            op_kind = "atomic"
+        else:
+            op_kind = "nt-store" if event.nontemporal else "store"
+        ops.append(SymbolicOp(op_kind, instr, lines, stored, event.site, tid))
+    elif kind is EventKind.READ:
+        ops.append(
+            SymbolicOp("read", instr, tuple(event.lines(line_size)), (), event.site, tid)
+        )
+    elif kind is EventKind.PRESTORE:
+        lines = tuple(event.lines(line_size))
+        current = tuple(versions.get(line, 0) for line in lines)
+        op_kind = "clean" if event.op is PrestoreOp.CLEAN else "demote"
+        ops.append(SymbolicOp(op_kind, instr, lines, current, event.site, tid))
+    elif kind is EventKind.FENCE:
+        op_kind = "fence" if event.fence_scope == "full" else "load-fence"
+        ops.append(SymbolicOp(op_kind, instr, (), (), event.site, tid))
+    elif kind is EventKind.COMPUTE:
+        ops.append(SymbolicOp("compute", instr, (), (), event.site, tid))
+    else:  # POST / WAIT
+        ops.append(SymbolicOp(kind.value, instr, (), (), event.site, tid))
+    return instr
+
+
+def extract_ir(
+    workload: Workload,
+    spec: MachineSpec,
+    patches: Optional[PatchConfig] = None,
+    seed: int = 1234,
+    streams: Optional[bool] = None,
+) -> ProgramIR:
+    """Extract the symbolic instruction stream of one workload config.
+
+    Builds a real :class:`Program` (machine constructed, never run) and
+    drains the spawned generators.  Extraction *consumes* the workload's
+    generators and appends to its durability log — pass a fresh workload
+    instance, and do not reuse it for a dynamic run afterwards.
+    """
+    patches = patches or PatchConfig.baseline()
+    program = Program(spec, seed=seed, streams=streams)
+    versions: Dict[int, int] = {}
+    # DurabilityLog.ack duck-types ``device.line_versions``; sharing our
+    # dict makes acks snapshot exactly what a FaultDevice would pin.
+    program.machine.device.line_versions = versions  # type: ignore[attr-defined]
+    workload.spawn(program, patches)
+    log = getattr(workload, "durability_log", None)
+    records: List[AckRecord] = log.records if log is not None else []
+    next_record = len(records)
+    line_size = program.machine.line_size
+    bodies = program.bodies
+    ops: List[SymbolicOp] = []
+    acks: List[AckPoint] = []
+    instr = 0
+    for tid, gen in enumerate(bodies):
+        while True:
+            try:
+                event = next(gen)
+            except StopIteration:
+                break
+            # Generator code that ran inside this ``next`` executed after
+            # the previously processed event: acks it recorded belong to
+            # the boundary before the event we just received.
+            next_record = _drain_acks(records, next_record, instr, tid, len(ops), acks)
+            instr = _process(event, instr, tid, versions, line_size, ops)
+        next_record = _drain_acks(records, next_record, instr, tid, len(ops), acks)
+    enabled = patches.enabled_sites()
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(enabled.items())) or "baseline"
+    return ProgramIR(
+        workload=getattr(workload, "name", type(workload).__name__),
+        machine=spec.name,
+        line_size=line_size,
+        patch_summary=summary,
+        ops=ops,
+        acks=acks,
+        instr_total=instr,
+        threads=len(bodies),
+        exact_indices=len(bodies) == 1,
+        line_versions=dict(versions),
+    )

@@ -1,0 +1,124 @@
+"""The persist happens-before model over an extracted ProgramIR.
+
+For every cache line the model replays the symbolic stream and records
+the *acceptance timeline*: at which instruction index which store
+version had reached the device's ADR persistence domain.  The edges
+mirror the simulator's execution semantics exactly (DESIGN.md §13):
+
+* a ``store`` makes a version *visible* (dirty in the hierarchy) but
+  never durable by itself;
+* an ``nt-store`` is accepted by the device at its own index — the
+  simulator's non-temporal path calls ``device.write_back`` inline;
+* a ``clean`` (clwb) covering a line accepts that line's current version
+  at the clean's index — ``_do_prestore`` demotes any parked store
+  (installing it dirty) and then writes the line back iff some cache
+  level holds it dirty.  A clean whose every line is already at its
+  accepted version writes nothing: the *redundant flush* the
+  ``crashcheck.redundant-flush`` rule reports;
+* a ``demote`` (cldemote) moves data toward the point of unification and
+  never touches the device: no acceptance edge — visibility is not
+  persistence;
+* fences order and drain store buffers but move no data to the device,
+  so they add no acceptance edges; they matter for the *protocol* checks
+  (a persist op unordered with its ack on real asynchronous-clwb
+  hardware), which :mod:`repro.crashcheck.verify` layers on top.
+
+What the model deliberately does **not** know: dirty-capacity evictions.
+A simulated run whose working set overflows the LLC writes victims back
+early, accepting versions *before* any clean reaches them.  The static
+timeline therefore under-approximates durability (over-approximates the
+vulnerable window): statically guaranteed implies dynamically durable,
+never the converse.
+
+Under a *media-only* persistence domain (``adr=False``) acceptance into
+an open write-combiner entry is not durability, and entry close times
+depend on eviction order the static pass cannot see — nothing is
+statically provable durable there.  The model still computes the ADR
+timeline; :mod:`verify` widens every window to the program end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.crashcheck.extract import AckPoint, ProgramIR, SymbolicOp
+
+__all__ = ["PersistModel"]
+
+#: One acceptance step: (instruction index, running-max accepted version,
+#: position of the accepting op in ``ir.ops``).
+_Step = Tuple[int, int, int]
+
+
+class PersistModel:
+    """Per-line ADR acceptance timelines for one extracted program."""
+
+    def __init__(self, ir: ProgramIR) -> None:
+        self.ir = ir
+        self._accepted: Dict[int, List[_Step]] = {}
+        #: Cleans whose every covered line was already accepted at its
+        #: current version: no writeback is owed, the flush is dead work.
+        self.redundant_cleans: List[SymbolicOp] = []
+        self._build()
+
+    def _build(self) -> None:
+        accepted_now: Dict[int, int] = {}
+        for pos, op in enumerate(self.ir.ops):
+            if op.kind == "nt-store":
+                for line, version in zip(op.lines, op.versions):
+                    self._accept(line, version, op.index, pos, accepted_now)
+            elif op.kind == "clean":
+                useful = False
+                for line, version in zip(op.lines, op.versions):
+                    if accepted_now.get(line, 0) < version:
+                        useful = True
+                        self._accept(line, version, op.index, pos, accepted_now)
+                if not useful:
+                    self.redundant_cleans.append(op)
+
+    def _accept(
+        self, line: int, version: int, index: int, pos: int, accepted_now: Dict[int, int]
+    ) -> None:
+        if accepted_now.get(line, 0) >= version:
+            return
+        accepted_now[line] = version
+        self._accepted.setdefault(line, []).append((index, version, pos))
+
+    # -- queries -----------------------------------------------------------------
+
+    def first_accepted(self, line: int, version: int) -> Optional[_Step]:
+        """The earliest acceptance step satisfying ``version``; None = never.
+
+        Version 0 means "any version" (:meth:`AckRecord.required_version`
+        semantics) and is trivially satisfied at index 0.
+        """
+        if version <= 0:
+            return (0, 0, -1)
+        for step in self._accepted.get(line, ()):
+            if step[1] >= version:
+                return step
+        return None
+
+    def persist_window_end(self, ack: AckPoint) -> Optional[int]:
+        """First index at which every line of ``ack`` is accepted.
+
+        None when some line's required version is never accepted: the
+        vulnerable window stays open to the end of the program.  The ack
+        is (statically, ADR) durable iff the result is ``<= ack.boundary``.
+        """
+        end = 0
+        for line in ack.record.lines:
+            step = self.first_accepted(line, ack.record.required_version(line))
+            if step is None:
+                return None
+            end = max(end, step[0])
+        return end
+
+    def accepting_positions(self, ack: AckPoint) -> List[int]:
+        """Positions (in ``ir.ops``) of the ops that satisfied ``ack``."""
+        positions = []
+        for line in ack.record.lines:
+            step = self.first_accepted(line, ack.record.required_version(line))
+            if step is not None and step[2] >= 0:
+                positions.append(step[2])
+        return positions

@@ -55,6 +55,11 @@ class Cell:
     #: Explicit patch configuration (the AutoTuner path); overrides
     #: the mode-derived config.
     patches: Optional[PatchConfig] = field(default=None, compare=False)
+    #: Statically verify crash consistency (:mod:`repro.crashcheck`) on a
+    #: fresh workload instance before the run; the report lands in
+    #: ``result.extra["crashcheck_report"]``.  The persistence domain
+    #: follows the fault plan's (ADR without one).
+    crashcheck: bool = False
     #: Owning experiment id, for log context (optional).
     experiment: Optional[str] = None
     #: Deterministic fault plan; a non-empty plan routes the cell through
@@ -113,6 +118,20 @@ def run_cell(cell: Cell) -> CellRun:
     config = _derive_config(cell, workload)
     run_id = cell_run_id(cell, workload.name)
     worker = f"pid{os.getpid()}"
+    crashcheck_doc = None
+    if cell.crashcheck:
+        from repro.crashcheck import check_workload
+
+        # Extraction consumes generators and appends to the durability
+        # log, so the static pass gets its own fresh instance.
+        adr = cell.fault_plan.combiner_persistent if cell.fault_plan is not None else True
+        crashcheck_doc = check_workload(
+            cell.make_workload(),
+            cell.spec,
+            patches=_derive_config(cell, workload),
+            adr=adr,
+            seed=cell.seed,
+        ).to_dict()
     with run_context(run_id=run_id, experiment_id=cell.experiment, worker=worker):
         if cell.fault_plan is not None and not cell.fault_plan.is_empty():
             from repro.faults.harness import run_with_faults
@@ -137,6 +156,8 @@ def run_cell(cell: Cell) -> CellRun:
             result = workload.run(
                 cell.spec, config, seed=cell.seed, sanitize=cell.sanitize, obs=cell.obs
             ).run
+        if crashcheck_doc is not None:
+            result.extra["crashcheck_report"] = crashcheck_doc
     return CellRun(
         result_json=result.to_json(),
         workload=workload.name,
@@ -220,6 +241,7 @@ def cache_key(cell: Cell) -> Optional[str]:
         "obs": bool(cell.obs),
         "sanitize": bool(cell.sanitize),
         "faults": None if cell.fault_plan is None else cell.fault_plan.to_dict(),
+        "crashcheck": bool(cell.crashcheck),
         "code": code_fingerprint(),
     }
     payload = json.dumps(doc, sort_keys=True, default=repr)

@@ -7,9 +7,13 @@ when it exposes a ``build_program(spec) -> Program`` hook (the shape
 selected machine with the race detector and pre-store lint attached.
 
 ``--self`` lints this repository's own workload tree (``src/repro/
-workloads`` and ``examples``) and, when the optional ``ruff``/``mypy``
-toolchain is installed, runs those too — the single ``make lint`` entry
-point.
+workloads`` and ``examples``), runs the fast :mod:`repro.crashcheck`
+self-check, and, when the optional ``ruff``/``mypy`` toolchain is
+installed, runs those too — the single ``make lint`` entry point.
+
+Exit codes: 0 clean, 1 error-severity diagnostics, 2 missing target,
+3 a pass itself failed to run (import or simulation raised) — a raising
+pass is never reported as "clean".
 """
 
 from __future__ import annotations
@@ -111,7 +115,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     exit_code = 0
     if args.self_check:
         targets.extend(_self_paths())
-        for tool, tool_args in (("ruff", ["check", "src", "tests", "examples"]), ("mypy", ["src/repro/sanitize"])):
+        # The crashcheck self-check rides along: the static verifier and
+        # its dynamic differential are part of the repository's own lint.
+        from repro.crashcheck.cli import run_self_check
+
+        print("crashcheck self-check (fast):")
+        crashcheck_code = run_self_check(fast=True, seed=args.seed)
+        exit_code = max(exit_code, crashcheck_code)
+        for tool, tool_args in (
+            ("ruff", ["check", "src", "tests", "examples"]),
+            ("mypy", ["src/repro/sanitize", "src/repro/crashcheck"]),
+        ):
             returncode = _run_optional_tool(tool, tool_args)
             if returncode is None:
                 print(f"{tool}: not installed — skipped")
@@ -138,12 +152,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             except SyntaxError:
                 pass  # the static pass reports static.syntax-error itself
             except Exception as exc:
+                # A target whose import explodes was NOT checked by the
+                # dynamic passes: distinct exit code, never "clean".
                 print(f"{target}: import failed ({exc}); static pass only", file=sys.stderr)
+                exit_code = max(exit_code, 3)
         if build_program is not None:
             print(f"{target}: static + dynamic passes ({spec_factory().name})")
-            diagnostics.extend(
-                sanitize(build_program, spec_factory(), paths=[target], seed=args.seed)
-            )
+            try:
+                diagnostics.extend(
+                    sanitize(build_program, spec_factory(), paths=[target], seed=args.seed)
+                )
+            except Exception as exc:
+                print(f"{target}: dynamic pass raised ({exc})", file=sys.stderr)
+                exit_code = max(exit_code, 3)
+                diagnostics.extend(sanitize(paths=[target]))
         else:
             diagnostics.extend(sanitize(paths=[target]))
 

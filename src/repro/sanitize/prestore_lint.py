@@ -34,7 +34,7 @@ from repro.core.prestore import PrestoreOp
 from repro.dirtbuster.distances import DistanceTracker
 from repro.dirtbuster.recommend import Thresholds
 from repro.errors import Diagnostic
-from repro.sim.event import CodeSite, Event, EventKind
+from repro.sim.event import STREAM_KINDS, CodeSite, Event, EventKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.machine import Machine
@@ -82,6 +82,12 @@ class _SiteTally:
 
 class PrestoreLint:
     """Replays the event stream and flags pre-store misuse."""
+
+    #: Distance tracking and the clean/nt recency maps are per-access;
+    #: the machine unrolls batched streams for us, and :meth:`record`
+    #: expands any stream that still arrives (defense in depth for
+    #: batch-aware fan-out wrappers).
+    accepts_streams = False
 
     def __init__(
         self,
@@ -131,6 +137,13 @@ class PrestoreLint:
 
     def record(self, core_id: int, event: Event, instr_index: int, cycles: float) -> None:
         kind = event.kind
+        if kind in STREAM_KINDS:
+            # The batched fast path must not bypass the lint: expand to
+            # the per-access sequence the scheduler would have unrolled,
+            # one retired instruction per access.
+            for offset, access in enumerate(event.accesses()):
+                self.record(core_id, access, instr_index + offset, cycles)
+            return
         if kind is EventKind.WRITE:
             self._on_write(core_id, event, instr_index)
         elif kind is EventKind.READ:

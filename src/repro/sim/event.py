@@ -33,7 +33,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 from repro.core.prestore import PrestoreOp
 from repro.errors import SimulationError
@@ -328,6 +328,34 @@ class Event:
     def access_kind(self) -> EventKind:
         """The per-access kind a stream expands to (identity otherwise)."""
         return _STREAM_ACCESS_KIND.get(self.kind, self.kind)
+
+    def accesses(self) -> "Iterator[Event]":
+        """Expand a stream into its per-access events (identity otherwise).
+
+        Yields exactly the READ/WRITE sequence the machine scheduler
+        executes for this event: one access per ``chunk`` bytes, the last
+        possibly shorter, all carrying the stream's provenance.  Analyses
+        that keep per-access state (the sanitizer passes, the crashcheck
+        extractor) iterate this instead of special-casing stream kinds.
+        """
+        if self.kind not in STREAM_KINDS:
+            yield self
+            return
+        kind = _STREAM_ACCESS_KIND[self.kind]
+        step = self.chunk
+        offset = 0
+        while offset < self.size:
+            length = min(step, self.size - offset)
+            yield Event.fast_access(
+                kind,
+                self.addr + offset,
+                length,
+                self.nontemporal,
+                self.relaxed,
+                self.site,
+                self.callchain,
+            )
+            offset += length
 
     @property
     def access_count(self) -> int:

@@ -375,6 +375,16 @@ class Program:
         self._bodies.append(body(ctx, *args, **kwargs))
         return ctx
 
+    @property
+    def bodies(self) -> List[Iterator[Event]]:
+        """The spawned thread generators, in spawn order.
+
+        Consumers other than :meth:`run` — the crashcheck IR extractor
+        drains these directly, without a machine — get the live iterators;
+        a program whose bodies were consumed elsewhere cannot also run.
+        """
+        return list(self._bodies)
+
     def add_work(self, items: int = 1) -> None:
         """Count completed application-level work (for throughput)."""
         self.work_items += items

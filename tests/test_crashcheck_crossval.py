@@ -1,0 +1,151 @@
+"""Cross-validation harness + the AutoTuner / runner integrations."""
+
+from __future__ import annotations
+
+import functools
+import json
+
+import pytest
+
+from repro.core.autotune import AutoTuner
+from repro.core.prestore import PrestoreMode
+from repro.crashcheck import cross_validate, patches_for
+from repro.crashcheck.cli import run_self_check
+from repro.faults.workloads import KVPersistWorkload
+from repro.runner.cells import Cell, cache_key, run_cell
+
+
+def _kv_factory():
+    return KVPersistWorkload(keys=8, value_size=256, operations=10)
+
+
+@pytest.mark.parametrize(
+    "mode,adr",
+    [
+        (PrestoreMode.NONE, True),
+        (PrestoreMode.CLEAN, True),
+        (PrestoreMode.CLEAN, False),
+        (PrestoreMode.DEMOTE, True),
+    ],
+)
+def test_cross_validate_agrees(tiny_machine_a, mode, adr) -> None:
+    result = cross_validate(
+        _kv_factory, tiny_machine_a, mode=mode, adr=adr, max_probes=3, fractions=(0.5,)
+    )
+    assert result["mismatches"] == []
+    assert result["ok"]
+    assert result["dynamic_runs"] > 0
+    if mode is not PrestoreMode.CLEAN or not adr:
+        assert result["probes"] > 0  # vulnerable windows were actually probed
+
+
+def test_cross_validate_is_json_stable(tiny_machine_a) -> None:
+    result = cross_validate(
+        _kv_factory, tiny_machine_a, mode=PrestoreMode.NONE, max_probes=2, fractions=(0.5,)
+    )
+    assert json.loads(json.dumps(result)) == result
+
+
+def test_fast_self_check_passes() -> None:
+    assert run_self_check(fast=True) == 0
+
+
+# -- AutoTuner pre-gate -------------------------------------------------------------
+
+
+class _FakeRecommendation:
+    wants_prestore = True
+    fallback = None
+
+    def __init__(self, choice: PrestoreMode) -> None:
+        self.choice = choice
+
+
+class _FakeReport:
+    def __init__(self, choice: PrestoreMode) -> None:
+        self._choice = choice
+
+    def recommendation_for(self, function: str):
+        return _FakeRecommendation(self._choice)
+
+
+class _FakeDirtBuster:
+    """Recommends one fixed mode for every function — lets the tests
+    steer the tuner into a known-bad (demote) candidate."""
+
+    def __init__(self, choice: PrestoreMode) -> None:
+        self._choice = choice
+
+    def analyze(self, workload, spec, seed=1234):
+        return _FakeReport(self._choice)
+
+
+def test_gate_rejects_durability_regressions(tiny_machine_a) -> None:
+    tuner = AutoTuner(crashcheck=True)
+    demote = tuner.crashcheck_gate(
+        _kv_factory, tiny_machine_a, patches_for(_kv_factory(), PrestoreMode.DEMOTE)
+    )
+    assert demote
+    assert all(d.severity == "error" for d in demote)
+    assert {d.rule for d in demote} >= {"crashcheck.missing-clwb"}
+    clean = tuner.crashcheck_gate(
+        _kv_factory, tiny_machine_a, patches_for(_kv_factory(), PrestoreMode.CLEAN)
+    )
+    assert clean == []
+
+
+def test_tune_vetoes_before_measuring(tiny_machine_a) -> None:
+    """A statically unsafe candidate never gets its measurement run."""
+    tuner = AutoTuner(dirtbuster=_FakeDirtBuster(PrestoreMode.DEMOTE), crashcheck=True)
+    result = tuner.tune(_kv_factory, tiny_machine_a)
+    assert not result.kept
+    assert result.patched is None  # the patched cell was never spent
+    assert result.adopted == {}
+    assert result.new_diagnostics
+    assert all(d.rule.startswith("crashcheck.") for d in result.new_diagnostics)
+
+
+def test_tune_without_gate_still_measures(tiny_machine_a) -> None:
+    tuner = AutoTuner(dirtbuster=_FakeDirtBuster(PrestoreMode.DEMOTE), crashcheck=False)
+    result = tuner.tune(_kv_factory, tiny_machine_a)
+    assert result.patched is not None
+    assert result.new_diagnostics == []
+
+
+def test_gate_allows_safe_candidate_through(tiny_machine_a) -> None:
+    tuner = AutoTuner(dirtbuster=_FakeDirtBuster(PrestoreMode.CLEAN), crashcheck=True)
+    result = tuner.tune(_kv_factory, tiny_machine_a)
+    assert result.patched is not None  # gate passed, measurement happened
+    assert result.new_diagnostics == []
+
+
+# -- Cell opt-in --------------------------------------------------------------------
+
+
+def test_cell_crashcheck_report(tiny_machine_a) -> None:
+    cell = Cell(
+        make_workload=_kv_factory,
+        spec=tiny_machine_a,
+        mode=PrestoreMode.CLEAN,
+        endorsed_only=False,
+        crashcheck=True,
+    )
+    run = run_cell(cell)
+    doc = json.loads(run.result_json)
+    report = doc["extra"]["crashcheck_report"]
+    assert report["counts"]["guaranteed-durable"] == len(report["acks"]) > 0
+    assert report["adr"] is True
+
+
+def test_cell_without_crashcheck_has_no_report(tiny_machine_a) -> None:
+    cell = Cell(make_workload=_kv_factory, spec=tiny_machine_a, mode=PrestoreMode.CLEAN)
+    doc = json.loads(run_cell(cell).result_json)
+    assert "crashcheck_report" not in doc.get("extra", {})
+
+
+def test_cache_key_covers_crashcheck_flag(tiny_machine_a) -> None:
+    factory = functools.partial(KVPersistWorkload, keys=8, value_size=256, operations=10)
+    on = cache_key(Cell(make_workload=factory, spec=tiny_machine_a, crashcheck=True))
+    off = cache_key(Cell(make_workload=factory, spec=tiny_machine_a, crashcheck=False))
+    assert on is not None and off is not None
+    assert on != off

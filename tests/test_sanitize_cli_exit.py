@@ -1,0 +1,58 @@
+"""Exit-code contract of ``python -m repro.sanitize``.
+
+0 clean, 1 error diagnostics, 2 missing target, 3 a pass itself failed
+to run.  The regression this pins: a target whose import or dynamic run
+*raises* used to fall back to the static pass silently and exit 0 — a
+raising pass must never report "clean".
+"""
+
+from __future__ import annotations
+
+from repro.sanitize.cli import main
+
+
+def test_clean_target_exits_zero(tmp_path, capsys) -> None:
+    target = tmp_path / "clean.py"
+    target.write_text("x = 1\n")
+    assert main([str(target)]) == 0
+
+
+def test_missing_target_exits_two(tmp_path, capsys) -> None:
+    assert main([str(tmp_path / "nope.py")]) == 2
+
+
+def test_import_failure_exits_three(tmp_path, capsys) -> None:
+    target = tmp_path / "explodes_on_import.py"
+    target.write_text("raise RuntimeError('boom at import')\n")
+    code = main([str(target)])
+    assert code == 3
+    assert "import failed" in capsys.readouterr().err
+
+
+def test_dynamic_pass_raise_exits_three(tmp_path, capsys) -> None:
+    target = tmp_path / "explodes_dynamically.py"
+    target.write_text(
+        "def build_program(spec):\n"
+        "    raise RuntimeError('boom in build_program')\n"
+    )
+    code = main([str(target)])
+    assert code == 3
+    assert "dynamic pass raised" in capsys.readouterr().err
+
+
+def test_static_only_skips_dynamic_raise(tmp_path, capsys) -> None:
+    """--static-only never imports the target, so a raising hook is moot."""
+    target = tmp_path / "explodes_dynamically.py"
+    target.write_text(
+        "def build_program(spec):\n"
+        "    raise RuntimeError('boom in build_program')\n"
+    )
+    assert main(["--static-only", str(target)]) == 0
+
+
+def test_syntax_error_reported_statically(tmp_path, capsys) -> None:
+    """A syntax error is the static pass's finding (exit 1), not a pass
+    failure (exit 3): the file *was* checked."""
+    target = tmp_path / "bad_syntax.py"
+    target.write_text("def broken(:\n")
+    assert main([str(target)]) == 1
