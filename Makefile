@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint sanitize obs-demo bench bench-sim faults crashcheck
+.PHONY: test lint sanitize obs-demo bench bench-sim bench-check faults crashcheck
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,17 +17,40 @@ sanitize:
 
 # Runner benchmark: serial vs parallel, cold vs warm cache, with a
 # byte-identity check between the serial and pooled results.  Writes
-# BENCH_runner.json (uploaded as a CI artifact by the bench-smoke job).
+# BENCH_runner.json (uploaded as a CI artifact by the bench-smoke job)
+# plus the SweepMonitor JSONL progress stream, and appends the run to
+# the BENCH_history.jsonl trajectory (DESIGN.md §14).
 bench:
 	mkdir -p build
 	$(PYTHON) -m repro.runner bench --workers 4 \
-		--cache-dir build/runner-cache --out BENCH_runner.json
+		--cache-dir build/runner-cache --out BENCH_runner.json \
+		--monitor-jsonl build/sweep-monitor.jsonl
+	$(PYTHON) -m repro.obs.regress append --bench runner BENCH_runner.json
 
 # Simulator benchmark: events/sec for the reference (per-access event)
 # vs. batched stream interpreter on every machine preset, with a
-# bit-identity check between the two paths.  Writes BENCH_sim.json.
+# bit-identity check between the two paths.  Writes BENCH_sim.json and
+# appends the run to the BENCH_history.jsonl trajectory.
 bench-sim:
 	$(PYTHON) -m repro.sim.bench --out BENCH_sim.json
+	$(PYTHON) -m repro.obs.regress append --bench sim BENCH_sim.json
+
+# Benchmark regression gate: run both harnesses at CI-smoke scale (the
+# runner's reduced sweep; the simulator's two fastest presets), append
+# the results to BENCH_history.jsonl, and compare the newest entries
+# against their predecessors under the noise thresholds in
+# repro.obs.regress — non-zero exit (and a trend report naming the
+# regressed metric and both code fingerprints) on regression.
+bench-check:
+	mkdir -p build
+	$(PYTHON) -m repro.runner bench --workers 4 \
+		--cache-dir build/runner-cache --out BENCH_runner.json \
+		--monitor-jsonl build/sweep-monitor.jsonl --no-sim
+	$(PYTHON) -m repro.sim.bench --quick \
+		--preset machine-A --preset machine-A-dram --out BENCH_sim.json
+	$(PYTHON) -m repro.obs.regress append --bench runner BENCH_runner.json
+	$(PYTHON) -m repro.obs.regress append --bench sim BENCH_sim.json
+	$(PYTHON) -m repro.obs.regress check
 
 # Crash-consistency self-check: seeded crash/fault matrix on machine A
 # and B-slow, asserting protocol durability, baseline vulnerability,

@@ -210,6 +210,26 @@ def self_check(verbose: bool = True) -> List[str]:
     )
     plain, _ = seeded_run(with_obs=False)
     check(plain.timeline is None, "obs-disabled run carries no timeline")
+
+    # Export round trip: the collector's registry rendered as OpenMetrics
+    # must parse back to exactly the snapshot the exporter started from,
+    # render byte-identically a second time, and never leak a bare `nan`
+    # (the §10 null convention on text surfaces).
+    from repro.obs.export import export_snapshot, parse_openmetrics, render_openmetrics
+
+    text = render_openmetrics(collector.registry)
+    check(
+        parse_openmetrics(text) == export_snapshot(collector.registry),
+        "OpenMetrics render -> parse round-trips to the exact snapshot",
+    )
+    check(
+        render_openmetrics(collector.registry) == text,
+        "OpenMetrics render is byte-stable across calls",
+    )
+    check(
+        not any(tok.lower() == "nan" for tok in text.split()),
+        "OpenMetrics text carries no nan literals",
+    )
     return failures
 
 

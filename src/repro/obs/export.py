@@ -1,0 +1,295 @@
+"""OpenMetrics / JSONL exposition of :class:`MetricsRegistry` snapshots.
+
+The scrape-surface half of sweep-scale observability (DESIGN.md §14):
+any registry — a single run's :class:`~repro.obs.collector.ObsCollector`
+registry or a fleet registry folded together from per-worker ones — can
+be rendered as Prometheus/OpenMetrics text exposition
+(:func:`render_openmetrics`) or as a structured JSONL stream
+(:func:`render_jsonl`), and an exposition can be parsed back
+(:func:`parse_openmetrics`) for round-trip checks.
+
+Two invariants every renderer here keeps:
+
+* **Determinism** — output is a pure function of the snapshot: metrics
+  sorted by name, histogram buckets in bound order, numbers formatted
+  via ``repr``; the same registry state renders byte-identically however
+  many times (and from however many merged worker registries) it is
+  rendered.  The exporter tests and the obs self-check enforce this.
+* **NaN safety** — the §10 derived-ratio convention returns
+  ``float("nan")`` for zero-denominator ratios, and strict-JSON
+  surfaces serialise that as ``null``, never a ``nan`` literal.  JSONL
+  lines follow the same rule; OpenMetrics (which has no null) *omits*
+  the sample line and keeps the ``# TYPE`` metadata, exactly as the
+  Perfetto counter track skips NaN samples.
+
+Registry names use dots (``events.write``, ``run.cycles``); the
+exposition charset is ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so names are
+sanitised (every invalid character becomes ``_``) and a collision after
+sanitisation (``a.b`` vs ``a_b``) is a hard error rather than a silent
+double-write.  :func:`export_snapshot` is the canonical exported view —
+sanitised names, NaN→None values — and is what a parsed exposition must
+equal.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "export_metric_name",
+    "escape_help",
+    "export_snapshot",
+    "render_openmetrics",
+    "render_jsonl",
+    "parse_openmetrics",
+]
+
+#: The OpenMetrics/Prometheus metric-name charset.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID_CHAR_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def export_metric_name(name: str) -> str:
+    """Sanitise a registry name into the exposition charset.
+
+    Dots (the registry's namespacing convention) and any other invalid
+    character become ``_``; a leading digit gains a ``_`` prefix.  An
+    empty or all-invalid name is an error — exposition must never emit a
+    nameless sample.
+    """
+    if not name:
+        raise ValueError("metric name is empty")
+    sanitised = _INVALID_CHAR_RE.sub("_", name)
+    if sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    if not _NAME_RE.match(sanitised):
+        raise ValueError(f"metric name {name!r} cannot be sanitised for exposition")
+    return sanitised
+
+
+def escape_help(text: str) -> str:
+    """Escape a help string for a ``# HELP`` line (backslash, newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _unescape_help(text: str) -> str:
+    return text.replace("\\n", "\n").replace("\\\\", "\\")
+
+
+def _fmt(value: float) -> str:
+    """Deterministic number formatting: ints bare, floats via ``repr``."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _nullsafe(value: float) -> Union[float, str, None]:
+    """NaN→None (the §10 null convention); ±inf→``"+Inf"``/``"-Inf"``.
+
+    Both substitutions keep the value strict-JSON serialisable while
+    staying lossless: None marks "no ratio to report", the Inf strings
+    mark a histogram quantile above the largest bucket bound.
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            return None
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+    return value
+
+
+def _export_items(registry: MetricsRegistry) -> List[Tuple[str, object]]:
+    """(exposition_name, metric) pairs, sorted, collisions rejected."""
+    items: Dict[str, object] = {}
+    sources: Dict[str, str] = {}
+    for name in sorted(registry.names()):
+        metric = registry.get(name)
+        exported = export_metric_name(name)
+        if exported in items:
+            raise ValueError(
+                f"metrics {sources[exported]!r} and {name!r} collide as "
+                f"{exported!r} after exposition sanitisation"
+            )
+        items[exported] = metric
+        sources[exported] = name
+    return sorted(items.items())
+
+
+def export_snapshot(registry: MetricsRegistry) -> Dict[str, object]:
+    """The canonical exported view: sanitised names, NaN→None values.
+
+    This is what :func:`parse_openmetrics` recovers from a rendered
+    exposition — the round-trip contract is
+    ``parse_openmetrics(render_openmetrics(r)) == export_snapshot(r)``.
+    """
+    doc: Dict[str, object] = {}
+    for exported, metric in _export_items(registry):
+        if isinstance(metric, Histogram):
+            doc[exported] = {k: _nullsafe(v) for k, v in metric.snapshot().items()}
+        else:
+            doc[exported] = _nullsafe(metric.snapshot())  # type: ignore[union-attr]
+    return doc
+
+
+# -- OpenMetrics text exposition ---------------------------------------------
+
+
+def render_openmetrics(registry: MetricsRegistry) -> str:
+    """Prometheus/OpenMetrics text exposition of the registry.
+
+    Counters render as ``<name>_total``, gauges as plain samples (NaN
+    gauges keep their ``# TYPE`` line but omit the sample), histograms
+    as cumulative ``_bucket{le=...}`` series plus ``_count``/``_sum``.
+    Deterministic: sorted names, ``repr`` number formatting.
+    """
+    lines: List[str] = []
+    for exported, metric in _export_items(registry):
+        if metric.help:
+            lines.append(f"# HELP {exported} {escape_help(metric.help)}")
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {exported} counter")
+            lines.append(f"{exported}_total {_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {exported} gauge")
+            if not math.isnan(metric.value):
+                lines.append(f"{exported} {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {exported} histogram")
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.bucket_counts):
+                cumulative += count
+                lines.append(f'{exported}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+            lines.append(f'{exported}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{exported}_count {metric.count}")
+            lines.append(f"{exported}_sum {_fmt(metric.total)}")
+        else:  # pragma: no cover - registry only holds the three kinds
+            raise TypeError(f"unexported metric type {type(metric).__name__}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r'(?:\{le="(?P<le>[^"]+)"\})?'
+    r" (?P<value>\S+)$"
+)
+
+
+def _parse_number(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_openmetrics(text: str) -> Dict[str, object]:
+    """Parse an exposition back into the :func:`export_snapshot` shape.
+
+    Histogram quantiles are recomputed from the parsed buckets with the
+    same bucket-resolution algorithm :class:`Histogram` uses, so the
+    round trip is exact, not approximate.  A gauge whose ``# TYPE`` line
+    has no sample (the NaN case) comes back as ``None``.
+    """
+    types: Dict[str, str] = {}
+    scalars: Dict[str, float] = {}
+    buckets: Dict[str, List[Tuple[float, int]]] = {}
+    counts: Dict[str, int] = {}
+    sums: Dict[str, float] = {}
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        name, le, value = match.group("name"), match.group("le"), match.group("value")
+        if name.endswith("_bucket") and le is not None:
+            buckets.setdefault(name[: -len("_bucket")], []).append(
+                (_parse_number(le), int(float(value)))
+            )
+        elif name.endswith("_count") and name[: -len("_count")] in types:
+            counts[name[: -len("_count")]] = int(float(value))
+        elif name.endswith("_sum") and name[: -len("_sum")] in types:
+            sums[name[: -len("_sum")]] = _parse_number(value)
+        elif name.endswith("_total") and types.get(name[: -len("_total")]) == "counter":
+            scalars[name[: -len("_total")]] = _parse_number(value)
+        else:
+            scalars[name] = _parse_number(value)
+
+    doc: Dict[str, object] = {}
+    for name, kind in types.items():
+        if kind == "histogram":
+            series = sorted(buckets.get(name, ()))
+            bounds = [b for b, _ in series if b != math.inf]
+            rebuilt = Histogram(name, bounds=bounds or [1.0])
+            previous = 0
+            for i, (bound, cumulative) in enumerate(series):
+                if bound == math.inf:
+                    continue
+                rebuilt.bucket_counts[i] = cumulative - previous
+                previous = cumulative
+            rebuilt.count = counts.get(name, 0)
+            rebuilt.bucket_counts[-1] = rebuilt.count - previous
+            rebuilt.total = sums.get(name, 0.0)
+            doc[name] = {k: _nullsafe(v) for k, v in rebuilt.snapshot().items()}
+        else:
+            doc[name] = _nullsafe(scalars[name]) if name in scalars else None
+    return doc
+
+
+# -- JSONL event stream -------------------------------------------------------
+
+
+def render_jsonl(
+    registry: MetricsRegistry, extra: Optional[Dict[str, object]] = None
+) -> str:
+    """One JSON object per instrument, sorted by name, NaN as ``null``.
+
+    Each line carries ``name`` (exposition-sanitised), ``type``, and
+    either ``value`` (counter/gauge) or the histogram snapshot fields;
+    ``extra`` keys (e.g. a sweep id) are merged into every line.  A
+    tailing consumer gets the whole registry by reading to EOF; the same
+    registry state always renders byte-identically.
+    """
+    lines: List[str] = []
+    for exported, metric in _export_items(registry):
+        doc: Dict[str, object] = {"name": exported}
+        if isinstance(metric, Counter):
+            doc["type"] = "counter"
+            doc["value"] = _nullsafe(metric.value)
+        elif isinstance(metric, Gauge):
+            doc["type"] = "gauge"
+            doc["value"] = _nullsafe(metric.value)
+        else:
+            assert isinstance(metric, Histogram)
+            doc["type"] = "histogram"
+            doc.update({k: _nullsafe(v) for k, v in metric.snapshot().items()})
+        if extra:
+            doc.update(extra)
+        lines.append(json.dumps(doc, sort_keys=True, allow_nan=False))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def nullsafe_value(value: Union[float, int, None]) -> Optional[float]:
+    """Public NaN→None helper for callers building their own JSON docs."""
+    if value is None:
+        return None
+    return _nullsafe(float(value))

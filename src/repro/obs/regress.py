@@ -1,0 +1,364 @@
+"""Benchmark-trajectory store and regression gate (DESIGN.md §14).
+
+``BENCH_runner.json`` and ``BENCH_sim.json`` are single snapshots; this
+module turns them into an enforced curve.  Every ``make bench`` /
+``make bench-sim`` appends one entry to ``BENCH_history.jsonl`` —
+the benchmark document flattened to numeric leaves, keyed on the
+:func:`~repro.runner.cells.code_fingerprint` of the tree that produced
+it — and ``make bench-check`` compares the newest entry against its
+predecessor under explicit per-metric noise thresholds, prints an ASCII
+sparkline trend report, and exits non-zero on regression, naming the
+regressed metric and both code fingerprints.
+
+Gating policy (:data:`GATES`, first match wins):
+
+* correctness booleans (``deterministic``, ``warm_all_cached``,
+  ``identical``, ``all_identical``) gate **exactly** — any drop from
+  1 to 0 is a regression, no noise allowance;
+* ``speedup`` ratios gate downward with 25% tolerance and
+  ``events_per_sec`` throughputs with 30% (CI runners are noisy);
+* wall-clock seconds (``*_s``) gate upward with 50% tolerance —
+  they exist to catch order-of-magnitude cliffs, not jitter;
+* everything else is trend-only: reported, sparklined, never fatal.
+
+Run as::
+
+    python -m repro.obs.regress append --bench runner BENCH_runner.json
+    python -m repro.obs.regress append --bench sim BENCH_sim.json
+    python -m repro.obs.regress check            # exit 1 on regression
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import re
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "GATES",
+    "HISTORY_SCHEMA",
+    "MetricTrend",
+    "RegressionReport",
+    "append_history",
+    "check_history",
+    "flatten_metrics",
+    "load_history",
+    "main",
+]
+
+HISTORY_SCHEMA = "repro.bench_history/v1"
+DEFAULT_HISTORY = "BENCH_history.jsonl"
+
+#: (pattern, direction, relative tolerance).  Direction ``"exact"``
+#: means any decrease regresses; ``"higher"``/``"lower"`` say which way
+#: is better, with the tolerance absorbing run-to-run noise.
+GATES: Tuple[Tuple[re.Pattern, str, float], ...] = (
+    (
+        re.compile(
+            r"(^|\.)(deterministic|warm_all_cached|identical|all_identical)$"
+        ),
+        "exact",
+        0.0,
+    ),
+    (re.compile(r"speedup$"), "higher", 0.25),
+    (re.compile(r"events_per_sec$"), "higher", 0.30),
+    (re.compile(r"_s$"), "lower", 0.50),
+)
+
+#: Pure-ASCII intensity ramp (same alphabet as the obs CLI timelines).
+_RAMP = " .:-=+*#%@"
+
+
+def _gate_for(metric: str) -> Optional[Tuple[str, float]]:
+    for pattern, direction, tolerance in GATES:
+        if pattern.search(metric):
+            return direction, tolerance
+    return None
+
+
+# -- history store ------------------------------------------------------------
+
+
+def flatten_metrics(doc: object, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a benchmark document, dotted-key flattened.
+
+    Booleans become 0.0/1.0 (so the correctness invariants gate like any
+    other metric); NaN and infinite leaves are dropped — there is no
+    trajectory to compare against nothing.  Strings and lists are
+    skipped entirely.
+    """
+    flat: Dict[str, float] = {}
+    if isinstance(doc, dict):
+        for key in sorted(doc):
+            name = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_metrics(doc[key], name))
+    elif isinstance(doc, bool):
+        flat[prefix] = 1.0 if doc else 0.0
+    elif isinstance(doc, (int, float)) and math.isfinite(doc):
+        flat[prefix] = float(doc)
+    return flat
+
+
+def append_history(
+    doc: Dict[str, object],
+    bench: str,
+    history: Union[str, Path] = DEFAULT_HISTORY,
+    fingerprint: Optional[str] = None,
+    timestamp: Optional[float] = None,
+) -> Dict[str, object]:
+    """Append one benchmark run to the trajectory; returns the entry.
+
+    ``fingerprint`` defaults to the document's ``code_fingerprint``
+    field, else the live tree's fingerprint — the key that lets the
+    comparator name *which code* produced each side of a regression.
+    """
+    if fingerprint is None:
+        fingerprint = str(doc.get("code_fingerprint", "")) or None
+    if fingerprint is None:
+        from repro.runner.cells import code_fingerprint
+
+        fingerprint = code_fingerprint()
+    entry: Dict[str, object] = {
+        "schema": HISTORY_SCHEMA,
+        "bench": bench,
+        "fingerprint": fingerprint,
+        "t": time.time() if timestamp is None else timestamp,
+        "metrics": flatten_metrics(doc),
+    }
+    path = Path(history)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(
+    history: Union[str, Path], bench: Optional[str] = None
+) -> List[Dict[str, object]]:
+    """Entries in append order; unparseable lines are skipped, not fatal."""
+    entries: List[Dict[str, object]] = []
+    path = Path(history)
+    if not path.exists():
+        return entries
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(entry, dict) or entry.get("schema") != HISTORY_SCHEMA:
+            continue
+        if bench is not None and entry.get("bench") != bench:
+            continue
+        entries.append(entry)
+    return entries
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+@dataclass
+class MetricTrend:
+    """One metric's trajectory and the latest-vs-previous verdict."""
+
+    bench: str
+    metric: str
+    #: Full series in history order (latest last).
+    values: List[float]
+    #: Fingerprint per series point (parallel to ``values``).
+    fingerprints: List[str]
+    #: ``"exact"`` / ``"higher"`` / ``"lower"``; None for trend-only.
+    direction: Optional[str] = None
+    tolerance: float = 0.0
+    #: ``"ok"`` / ``"regressed"`` / ``"improved"`` / ``"new"``.
+    verdict: str = "ok"
+
+    @property
+    def latest(self) -> float:
+        return self.values[-1]
+
+    @property
+    def previous(self) -> Optional[float]:
+        return self.values[-2] if len(self.values) > 1 else None
+
+    def sparkline(self, width: int = 24) -> str:
+        values = self.values[-width:]
+        lo, hi = min(values), max(values)
+        if hi <= lo:
+            return _RAMP[len(_RAMP) // 2] * len(values)
+        scale = len(_RAMP) - 1
+        return "".join(_RAMP[round(scale * (v - lo) / (hi - lo))] for v in values)
+
+    def describe(self) -> str:
+        prev = self.previous
+        if prev is None:
+            change = "new"
+        elif prev == 0:
+            change = f"{prev:g} -> {self.latest:g}"
+        else:
+            change = f"{(self.latest - prev) / abs(prev):+.1%}"
+        gate = self.direction or "trend"
+        return (
+            f"[{self.verdict.upper():>9s}] {self.bench}:{self.metric}  "
+            f"{self.latest:g} ({change}, gate={gate}"
+            + (f"±{self.tolerance:.0%}" if self.direction in ("higher", "lower") else "")
+            + f")  |{self.sparkline()}|"
+        )
+
+
+@dataclass
+class RegressionReport:
+    """Every metric trend for the compared benches, regressions first."""
+
+    trends: List[MetricTrend] = field(default_factory=list)
+    #: (bench, latest fingerprint, baseline fingerprint) per bench compared.
+    compared: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricTrend]:
+        return [t for t in self.trends if t.verdict == "regressed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self, trend_only: bool = True) -> str:
+        lines: List[str] = []
+        for bench, latest_fp, base_fp in self.compared:
+            lines.append(
+                f"bench {bench}: comparing fingerprint {latest_fp} (latest) "
+                f"against {base_fp} (previous)"
+            )
+        order = {"regressed": 0, "improved": 1, "ok": 2, "new": 3}
+        shown = [
+            t
+            for t in sorted(self.trends, key=lambda t: (order[t.verdict], t.metric))
+            if trend_only or t.direction is not None
+        ]
+        lines.extend(t.describe() for t in shown)
+        if not self.trends:
+            lines.append("(no comparable history: need at least two entries per bench)")
+        lines.append(
+            f"{len(self.regressions)} regression(s), "
+            f"{sum(1 for t in self.trends if t.verdict == 'improved')} improvement(s), "
+            f"{len(self.trends)} metric(s) tracked"
+        )
+        return "\n".join(lines)
+
+
+def _verdict(direction: str, tolerance: float, prev: float, latest: float) -> str:
+    if direction == "exact":
+        if latest < prev:
+            return "regressed"
+        return "improved" if latest > prev else "ok"
+    if direction == "higher":
+        if latest < prev * (1.0 - tolerance):
+            return "regressed"
+        return "improved" if latest > prev * (1.0 + tolerance) else "ok"
+    assert direction == "lower"
+    if latest > prev * (1.0 + tolerance):
+        return "regressed"
+    return "improved" if latest < prev * (1.0 - tolerance) else "ok"
+
+
+def check_history(
+    history: Union[str, Path] = DEFAULT_HISTORY, bench: Optional[str] = None
+) -> RegressionReport:
+    """Compare each bench's newest entry against its predecessor.
+
+    Only gated metrics (see :data:`GATES`) can regress; every metric
+    present in the latest entry is tracked and sparklined.  A bench
+    with fewer than two entries contributes ``"new"`` trends only.
+    """
+    report = RegressionReport()
+    entries = load_history(history, bench=bench)
+    benches = sorted({str(e["bench"]) for e in entries})
+    for bench_id in benches:
+        series = [e for e in entries if e["bench"] == bench_id]
+        latest = series[-1]
+        previous = series[-2] if len(series) > 1 else None
+        if previous is not None:
+            report.compared.append(
+                (bench_id, str(latest["fingerprint"]), str(previous["fingerprint"]))
+            )
+        latest_metrics: Dict[str, float] = dict(latest["metrics"])  # type: ignore[arg-type]
+        for metric in sorted(latest_metrics):
+            points = [
+                (float(e["metrics"][metric]), str(e["fingerprint"]))  # type: ignore[index]
+                for e in series
+                if metric in e["metrics"]  # type: ignore[operator]
+            ]
+            trend = MetricTrend(
+                bench=bench_id,
+                metric=metric,
+                values=[v for v, _ in points],
+                fingerprints=[fp for _, fp in points],
+            )
+            gate = _gate_for(metric)
+            if gate is not None:
+                trend.direction, trend.tolerance = gate
+            if len(trend.values) < 2:
+                trend.verdict = "new"
+            elif trend.direction is not None:
+                trend.verdict = _verdict(
+                    trend.direction, trend.tolerance, trend.values[-2], trend.latest
+                )
+            report.trends.append(trend)
+    return report
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="Benchmark-trajectory store and regression gate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    append_p = sub.add_parser("append", help="append a benchmark JSON document to the history")
+    append_p.add_argument("doc", help="benchmark document (BENCH_runner.json / BENCH_sim.json)")
+    append_p.add_argument("--bench", required=True, help='trajectory id (e.g. "runner", "sim")')
+    append_p.add_argument("--history", default=DEFAULT_HISTORY)
+
+    check_p = sub.add_parser(
+        "check", help="compare the newest entries against their predecessors"
+    )
+    check_p.add_argument("--history", default=DEFAULT_HISTORY)
+    check_p.add_argument("--bench", default=None, help="restrict to one trajectory id")
+    check_p.add_argument(
+        "--gated-only", action="store_true", help="report only metrics with a gate"
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "append":
+        doc = json.loads(Path(args.doc).read_text())
+        entry = append_history(doc, bench=args.bench, history=args.history)
+        print(
+            f"appended {args.bench} entry ({len(entry['metrics'])} metrics, "  # type: ignore[arg-type]
+            f"fingerprint {entry['fingerprint']}) to {args.history}"
+        )
+        return 0
+
+    report = check_history(history=args.history, bench=args.bench)
+    print(report.render(trend_only=not args.gated_only))
+    if not report.ok:
+        names = ", ".join(f"{t.bench}:{t.metric}" for t in report.regressions)
+        print(f"REGRESSION: {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

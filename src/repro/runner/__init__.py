@@ -21,6 +21,7 @@ contract.
 from repro.errors import CellExecutionError, RunnerError
 from repro.runner.cache import ResultCache
 from repro.runner.cells import Cell, CellRun, cache_key, code_fingerprint, describe_factory, run_cell
+from repro.runner.monitor import SweepEvent, SweepMonitor, replay_outcomes
 from repro.runner.pool import (
     CellOutcome,
     RunnerSession,
@@ -37,11 +38,14 @@ __all__ = [
     "ResultCache",
     "RunnerError",
     "RunnerSession",
+    "SweepEvent",
+    "SweepMonitor",
     "active_session",
     "cache_key",
     "code_fingerprint",
     "describe_factory",
     "execute_cells",
+    "replay_outcomes",
     "run_cell",
     "runner_session",
 ]

@@ -25,7 +25,8 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.core.prestore import PrestoreMode
 from repro.runner.cache import ResultCache
 from repro.runner.cells import Cell, code_fingerprint
-from repro.runner.pool import execute_cells
+from repro.runner.monitor import outcome_to_dict
+from repro.runner.pool import EventBus, execute_cells
 from repro.sim.machine import machine_a
 
 __all__ = ["bench_cells", "run_bench"]
@@ -60,6 +61,7 @@ def _timed(cells: Sequence[Cell], **kwargs) -> Dict[str, object]:
         "jsons": [o.result_json for o in outcomes],
         "cached": sum(1 for o in outcomes if o.cached),
         "workers_seen": sorted({o.worker for o in outcomes}),
+        "outcomes": outcomes,
     }
 
 
@@ -92,16 +94,26 @@ def run_bench(
     full: bool = False,
     cells: Optional[List[Cell]] = None,
     sim: bool = True,
+    events: EventBus = None,
+    outcomes_out: Union[str, Path, None] = None,
 ) -> Dict[str, object]:
-    """Run the three-way comparison and write ``out``; returns the doc."""
+    """Run the three-way comparison and write ``out``; returns the doc.
+
+    ``events`` (e.g. a :class:`~repro.runner.monitor.SweepMonitor`)
+    observes all three sweeps through the pool's event-bus seam;
+    ``outcomes_out`` archives each phase's per-cell
+    :class:`~repro.runner.pool.CellOutcome` list as JSON, so monitor
+    aggregates can be replayed from a finished bench
+    (:func:`~repro.runner.monitor.replay_outcomes`).
+    """
     cells = cells if cells is not None else bench_cells(full=full)
     cache = ResultCache(cache_dir)
     cache.root.mkdir(parents=True, exist_ok=True)
     cache.clear()  # cold means cold
 
-    serial = _timed(cells, workers=1, cache=None)
-    parallel_cold = _timed(cells, workers=workers, cache=cache)
-    parallel_warm = _timed(cells, workers=workers, cache=cache)
+    serial = _timed(cells, workers=1, cache=None, events=events)
+    parallel_cold = _timed(cells, workers=workers, cache=cache, events=events)
+    parallel_warm = _timed(cells, workers=workers, cache=cache, events=events)
 
     deterministic = serial["jsons"] == parallel_cold["jsons"]
     warm_all_cached = parallel_warm["cached"] == len(cells)
@@ -126,6 +138,23 @@ def run_bench(
     }
     if sim:
         doc["sim"] = _sim_summary()
+    if outcomes_out is not None:
+        outcomes_doc = {
+            "schema": "repro.bench_outcomes/v1",
+            "code_fingerprint": doc["code_fingerprint"],
+            "phases": {
+                phase: [outcome_to_dict(o) for o in timing["outcomes"]]
+                for phase, timing in (
+                    ("serial_cold", serial),
+                    ("parallel_cold", parallel_cold),
+                    ("parallel_warm", parallel_warm),
+                )
+            },
+        }
+        outcomes_path = Path(outcomes_out)
+        if outcomes_path.parent != Path("."):
+            outcomes_path.parent.mkdir(parents=True, exist_ok=True)
+        outcomes_path.write_text(json.dumps(outcomes_doc, indent=2, sort_keys=True) + "\n")
     out = Path(out)
     if out.parent != Path("."):
         out.parent.mkdir(parents=True, exist_ok=True)

@@ -1,15 +1,22 @@
-"""``python -m repro.runner``: bench and cache maintenance.
+"""``python -m repro.runner``: bench, cache maintenance, sweep monitoring.
 
 Examples::
 
     python -m repro.runner bench --workers 4 --out BENCH_runner.json
+    python -m repro.runner bench --watch --monitor-jsonl build/sweep.jsonl
     python -m repro.runner bench --full --cache-dir build/runner-cache
+    python -m repro.runner bench --outcomes build/outcomes.json
     python -m repro.runner cache --dir build/runner-cache
     python -m repro.runner cache --dir build/runner-cache --clear
 
-Parallel experiment sweeps live on the experiments CLI
-(``prestores-experiments fig9 --workers 4 --cache-dir ...``); this
-entry point owns the runner's own artifacts.
+``--watch`` attaches a :class:`~repro.runner.monitor.SweepMonitor` to
+every sweep the bench runs and live-refreshes a fleet dashboard (worker
+utilisation, cache hit-rate, cells/s, ETA, per-kind simulator event
+rates); ``--monitor-jsonl`` appends the same event stream plus a final
+metrics summary to a JSONL progress file for headless runs.  Parallel
+experiment sweeps live on the experiments CLI (``prestores-experiments
+fig9 --workers 4 --cache-dir ...``); this entry point owns the runner's
+own artifacts.
 """
 
 from __future__ import annotations
@@ -17,11 +24,41 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.obs.log import basic_config
 from repro.runner.bench import run_bench
 from repro.runner.cache import ResultCache
+from repro.runner.monitor import SweepEvent, SweepMonitor
+
+
+class _WatchRenderer:
+    """Event-bus tee: feed the monitor, repaint the TTY dashboard.
+
+    On a real terminal the dashboard repaints in place (cursor-home +
+    clear, throttled to ``min_interval`` host seconds); on a pipe it
+    prints one dashboard per sweep end so logs stay readable.
+    """
+
+    def __init__(self, monitor: SweepMonitor, min_interval: float = 0.1) -> None:
+        self.monitor = monitor
+        self.min_interval = min_interval
+        self._last_paint = 0.0
+        self._tty = sys.stdout.isatty()
+
+    def __call__(self, event: SweepEvent) -> None:
+        self.monitor.emit(event)
+        now = time.monotonic()
+        if event.kind == "sweep_end":
+            if self._tty:
+                print("\x1b[H\x1b[J", end="")
+            print(self.monitor.render_dashboard())
+            return
+        if self._tty and now - self._last_paint >= self.min_interval:
+            self._last_paint = now
+            print("\x1b[H\x1b[J", end="")
+            print(self.monitor.render_dashboard())
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -42,6 +79,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="skip the event-interpreter throughput summary (repro.sim.bench)",
     )
+    bench.add_argument(
+        "--watch",
+        action="store_true",
+        help="live sweep dashboard: utilisation, hit-rate, cells/s, ETA, event rates",
+    )
+    bench.add_argument(
+        "--monitor-jsonl",
+        metavar="PATH",
+        default=None,
+        help="append the SweepMonitor event stream + summary lines here (JSONL)",
+    )
+    bench.add_argument(
+        "--outcomes",
+        metavar="PATH",
+        default=None,
+        help="write the per-cell CellOutcome list for every bench phase here (JSON)",
+    )
 
     cache = sub.add_parser("cache", help="inspect or clear a result cache")
     cache.add_argument("--dir", required=True)
@@ -52,16 +106,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         if args.verbose:
             basic_config()
-        doc = run_bench(
-            workers=args.workers,
-            cache_dir=args.cache_dir,
-            out=args.out,
-            full=args.full,
-            sim=not args.no_sim,
-        )
+        monitor: Optional[SweepMonitor] = None
+        events = None
+        if args.watch or args.monitor_jsonl:
+            monitor = SweepMonitor(progress_path=args.monitor_jsonl)
+            events = _WatchRenderer(monitor) if args.watch else monitor
+        try:
+            doc = run_bench(
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+                out=args.out,
+                full=args.full,
+                sim=not args.no_sim,
+                events=events,
+                outcomes_out=args.outcomes,
+            )
+        finally:
+            if monitor is not None:
+                monitor.close()
         print(json.dumps(doc, indent=2))
         ok = doc["deterministic"] and doc["warm_all_cached"]
         print(f"wrote {args.out}" + ("" if ok else " (FAILED invariants)"))
+        if args.outcomes:
+            print(f"wrote {args.outcomes}")
+        if args.monitor_jsonl:
+            print(f"wrote {args.monitor_jsonl}")
         return 0 if ok else 1
 
     store = ResultCache(args.dir)

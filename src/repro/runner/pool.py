@@ -51,6 +51,7 @@ from repro.errors import CellExecutionError, RunnerError
 from repro.obs.log import get_logger
 from repro.runner.cache import ResultCache
 from repro.runner.cells import Cell, CellRun, cell_run_id, run_cell
+from repro.runner.monitor import SweepEvent
 from repro.sim.stats import RunResult
 
 __all__ = [
@@ -66,6 +67,9 @@ __all__ = [
 _log = get_logger("runner")
 
 Progress = Optional[Callable[[str], None]]
+#: The event-bus seam: anything callable that accepts a SweepEvent
+#: (e.g. :class:`repro.runner.monitor.SweepMonitor`).
+EventBus = Optional[Callable[[SweepEvent], None]]
 
 #: How many times one ``execute_cells`` call rebuilds a broken process
 #: pool before running whatever is left inline.
@@ -218,6 +222,7 @@ def execute_cells(
     retries: Optional[int] = None,
     backoff_s: Optional[float] = None,
     on_error: str = "return",
+    events: EventBus = None,
 ) -> List[CellOutcome]:
     """Run every cell; outcomes come back in cell order, one per cell.
 
@@ -234,6 +239,14 @@ def execute_cells(
     (``status``/``error``/``attempts``); ``"raise"`` raises
     :class:`~repro.errors.CellExecutionError` after the whole sweep ran,
     with every outcome attached.
+
+    ``events`` is the observability seam (DESIGN.md §14): every
+    lifecycle edge — sweep begin/end, cache hit, submit, finish, retry,
+    timeout, failure, quarantine — is delivered as a
+    :class:`~repro.runner.monitor.SweepEvent` to the callable, *after*
+    the outcome exists, so a subscriber can never influence results
+    (attaching one changes no RunResult byte).  A subscriber that
+    raises is detached with a warning rather than failing the sweep.
     """
     if on_error not in ("return", "raise"):
         raise RunnerError(f'on_error must be "return" or "raise", got {on_error!r}')
@@ -256,6 +269,21 @@ def execute_cells(
     outcomes: List[Optional[CellOutcome]] = [None] * total
     jobs: List[_Job] = []
 
+    subscriber: List[EventBus] = [events]
+
+    def emit_event(kind: str, **kw: object) -> None:
+        """Deliver one SweepEvent; a raising subscriber is detached."""
+        bus = subscriber[0]
+        if bus is None:
+            return
+        try:
+            bus(SweepEvent(kind=kind, total=total, **kw))  # type: ignore[arg-type]
+        except Exception:
+            subscriber[0] = None
+            _log.warning("sweep event subscriber raised; detaching it", exc_info=True)
+
+    emit_event("sweep_begin")
+
     for i, cell in enumerate(cells):
         key = resolved_cache.key_for(cell) if resolved_cache is not None else None
         if key is not None:
@@ -276,6 +304,14 @@ def execute_cells(
                     attempts=0,
                 )
                 _emit(progress, f"[{i + 1}/{total}] {run_id}: cache hit")
+                emit_event(
+                    "cache_hit",
+                    index=i,
+                    run_id=run_id,
+                    worker="cache",
+                    status="cached",
+                    outcome=outcomes[i],
+                )
                 continue
         jobs.append(_Job(index=i, cell=cell, key=key))
 
@@ -310,6 +346,16 @@ def execute_cells(
             f"[{job.index + 1}/{total}] {run.run_id}: {result.cycles:,.0f} cycles, "
             f"WA={result.write_amplification:.2f}x ({run.wall_s:.2f}s wall, {run.worker})",
         )
+        emit_event(
+            "finish",
+            index=job.index,
+            run_id=run.run_id,
+            worker=run.worker,
+            status="ok",
+            wall_s=run.wall_s,
+            attempts=max(1, job.attempts),
+            outcome=outcomes[job.index],
+        )
 
     def fail(job: _Job, status: str, error: str) -> None:
         run_id = cell_run_id(job.cell, "?")
@@ -326,6 +372,16 @@ def execute_cells(
             attempts=max(1, job.attempts),
         )
         _emit(progress, f"[{job.index + 1}/{total}] {run_id}: {status.upper()} — {error}")
+        emit_event(
+            status if status == "timeout" else "failed",
+            index=job.index,
+            run_id=run_id,
+            worker="none",
+            status=status,
+            attempts=max(1, job.attempts),
+            error=error,
+            outcome=outcomes[job.index],
+        )
 
     inline: List[_Job] = []
     pooled: List[_Job] = []
@@ -346,16 +402,17 @@ def execute_cells(
 
     if pooled:
         leftovers = _drive_pool(
-            pooled, workers, session, timeout_s, retries, backoff_s, finish, fail
+            pooled, workers, session, timeout_s, retries, backoff_s, finish, fail, emit_event
         )
         inline.extend(leftovers)
 
     for job in inline:
-        _run_inline(job, retries, backoff_s, finish, fail)
+        _run_inline(job, retries, backoff_s, finish, fail, emit_event)
 
     missing = [i for i, o in enumerate(outcomes) if o is None]
     if missing:  # pragma: no cover - every path above fills its slot
         raise RunnerError(f"internal: cells {missing} produced no outcome")
+    emit_event("sweep_end")
     complete: List[CellOutcome] = [o for o in outcomes if o is not None]
     failed = [o for o in complete if not o.ok]
     if failed and on_error == "raise":
@@ -376,6 +433,7 @@ def _drive_pool(
     backoff_s: float,
     finish: Callable[[_Job, CellRun], None],
     fail: Callable[[_Job, str, str], None],
+    emit_event: Callable[..., None],
 ) -> List[_Job]:
     """Run picklable jobs through a pool; returns jobs left for inline.
 
@@ -407,6 +465,7 @@ def _drive_pool(
             futures[future] = job
             if timeout_s is not None:
                 deadlines[future] = time.monotonic() + timeout_s
+            emit_event("submit", index=job.index, run_id=cell_run_id(job.cell, "?"))
 
         def refill() -> None:
             nonlocal probe
@@ -444,6 +503,13 @@ def _drive_pool(
                                 "%s",
                                 f"cell {cell_run_id(job.cell, '?')}: attempt "
                                 f"{job.attempts} failed ({exc!r}); retrying in {delay:.2f}s",
+                            )
+                            emit_event(
+                                "retry",
+                                index=job.index,
+                                run_id=cell_run_id(job.cell, "?"),
+                                attempts=job.attempts,
+                                error=f"{type(exc).__name__}: {exc}",
                             )
                             time.sleep(delay)
                             submit(job)
@@ -496,6 +562,13 @@ def _drive_pool(
                     )
                 else:
                     quarantine.append(job)
+                    emit_event(
+                        "quarantine",
+                        index=job.index,
+                        run_id=cell_run_id(job.cell, "?"),
+                        attempts=job.attempts,
+                        error=f"pool break {job.breaks}",
+                    )
             if restarts > MAX_POOL_RESTARTS:
                 for job in sorted(quarantine, key=lambda j: j.index):
                     fail(
@@ -540,14 +613,23 @@ def _run_inline(
     backoff_s: float,
     finish: Callable[[_Job, CellRun], None],
     fail: Callable[[_Job, str, str], None],
+    emit_event: Callable[..., None],
 ) -> None:
     """Serial execution with the same bounded-retry policy as the pool."""
     while True:
+        emit_event("submit", index=job.index, run_id=cell_run_id(job.cell, "?"))
         try:
             run = run_cell(job.cell)
         except Exception as exc:
             job.attempts += 1
             if job.attempts <= retries:
+                emit_event(
+                    "retry",
+                    index=job.index,
+                    run_id=cell_run_id(job.cell, "?"),
+                    attempts=job.attempts,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 time.sleep(backoff_s * (2 ** (job.attempts - 1)))
                 continue
             fail(job, "failed", f"{type(exc).__name__}: {exc}")

@@ -143,8 +143,22 @@ def _measure(
     return entry
 
 
-def run_bench(quick: bool = False, repeats: int = 1) -> dict:
-    """Run the full matrix; returns the BENCH_sim.json document."""
+def run_bench(
+    quick: bool = False, repeats: int = 1, presets: Optional[Tuple[str, ...]] = None
+) -> dict:
+    """Run the matrix; returns the BENCH_sim.json document.
+
+    ``presets`` restricts the machine presets measured (CI's
+    ``bench-check`` job runs only the two fastest); None runs them all.
+    The headline stays machine-A's warm sequential write when that
+    preset is included, otherwise the first selected preset's.
+    """
+    selected = dict(PRESETS)
+    if presets is not None:
+        unknown = sorted(set(presets) - set(PRESETS))
+        if unknown:
+            raise ValueError(f"unknown presets {unknown}; choose from {sorted(PRESETS)}")
+        selected = {name: PRESETS[name] for name in PRESETS if name in presets}
     doc: dict = {
         "schema": "repro.bench_sim/v1",
         "quick": quick,
@@ -152,7 +166,7 @@ def run_bench(quick: bool = False, repeats: int = 1) -> dict:
         "presets": {},
     }
     ok = True
-    for pname, preset in PRESETS.items():
+    for pname, preset in selected.items():
         doc["presets"][pname] = {}
         for bname, (body, full_sizes, quick_sizes) in BENCHMARKS.items():
             sizes = quick_sizes if quick else full_sizes
@@ -167,6 +181,8 @@ def run_bench(quick: bool = False, repeats: int = 1) -> dict:
                 f"{'identical' if entry['identical'] else 'RESULTS DIFFER'}"
             )
     hp, hb = HEADLINE
+    if hp not in doc["presets"]:
+        hp = next(iter(doc["presets"]))
     doc["headline"] = {
         "preset": hp,
         "benchmark": hb,
@@ -224,6 +240,13 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--repeats", type=int, default=1, help="best-of-N timing (default 1)")
     parser.add_argument("--out", default="BENCH_sim.json", help="output JSON path")
     parser.add_argument(
+        "--preset",
+        action="append",
+        choices=sorted(PRESETS),
+        default=None,
+        help="measure only this preset (repeatable; default: all presets)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="print a cProfile/SpanProfiler breakdown of the headline benchmark and exit",
@@ -232,7 +255,11 @@ def main(argv: Optional[list] = None) -> int:
     if args.profile:
         _profile_headline(args.quick)
         return 0
-    doc = run_bench(quick=args.quick, repeats=args.repeats)
+    doc = run_bench(
+        quick=args.quick,
+        repeats=args.repeats,
+        presets=None if args.preset is None else tuple(args.preset),
+    )
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -1,0 +1,195 @@
+"""The metrics exporter: determinism, NaN safety, names, merge, round trip."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.export import (
+    escape_help,
+    export_metric_name,
+    export_snapshot,
+    nullsafe_value,
+    parse_openmetrics,
+    render_jsonl,
+    render_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("events.write", help="store events").inc(42)
+    reg.counter("events.read").inc(7)
+    reg.gauge("run.cycles", help="simulated cycles").set(1234.5)
+    reg.gauge("run.wa_ratio", help="zero-denominator ratio").set(float("nan"))
+    hist = reg.histogram("lat.cell_s", bounds=(0.1, 1.0, 10.0), help="cell latency")
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        hist.observe(v)
+    return reg
+
+
+class TestMetricNames:
+    def test_dots_become_underscores(self):
+        assert export_metric_name("events.write") == "events_write"
+
+    def test_leading_digit_gains_prefix(self):
+        assert export_metric_name("9p.latency") == "_9p_latency"
+
+    def test_colons_survive(self):
+        assert export_metric_name("ns:metric") == "ns:metric"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            export_metric_name("")
+
+    def test_registry_rejects_whitespace_names(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.gauge("")
+
+    def test_sanitisation_collision_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc()
+        reg.counter("a_b").inc()
+        with pytest.raises(ValueError, match="collide"):
+            render_openmetrics(reg)
+
+    def test_help_escaping(self):
+        assert escape_help("line\nbreak\\slash") == "line\\nbreak\\\\slash"
+
+
+class TestDeterminism:
+    def test_render_is_byte_stable(self):
+        reg = _populated_registry()
+        assert render_openmetrics(reg) == render_openmetrics(reg)
+        assert render_jsonl(reg) == render_jsonl(reg)
+
+    def test_merged_worker_registries_render_identically(self):
+        # The fleet-aggregation contract: however the same observations
+        # were sharded across worker registries, the merged exposition
+        # is byte-identical to single-registry collection.
+        reference = _populated_registry()
+        shard_a, shard_b = MetricsRegistry(), MetricsRegistry()
+        shard_a.counter("events.write", help="store events").inc(40)
+        shard_b.counter("events.write", help="store events").inc(2)
+        shard_a.counter("events.read").inc(3)
+        shard_b.counter("events.read").inc(4)
+        shard_b.gauge("run.cycles", help="simulated cycles").set(1234.5)
+        shard_a.gauge("run.wa_ratio", help="zero-denominator ratio").set(float("nan"))
+        shard_b.gauge("run.wa_ratio", help="zero-denominator ratio").set(float("nan"))
+        for shard, values in ((shard_a, (0.05, 0.5)), (shard_b, (0.5, 5.0, 50.0))):
+            hist = shard.histogram("lat.cell_s", bounds=(0.1, 1.0, 10.0), help="cell latency")
+            for v in values:
+                hist.observe(v)
+        merged = MetricsRegistry().merge(shard_a).merge(shard_b)
+        assert render_openmetrics(merged) == render_openmetrics(reference)
+        assert export_snapshot(merged) == export_snapshot(reference)
+
+    def test_merge_rejects_mismatched_histogram_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+        b.histogram("h", bounds=(1.0, 3.0)).observe(1.5)
+        with pytest.raises(ValueError, match="bounds"):
+            a.merge(b)
+
+    def test_merge_counters_add_not_overwrite(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(3)
+        b.counter("c").inc(4)
+        assert a.merge(b).counter("c").value == 7
+
+    def test_merge_gauge_keeps_set_value_over_nan(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(5.0)
+        b.gauge("g")  # never set: NaN must not clobber the observation
+        assert a.merge(b).gauge("g").value == 5.0
+
+
+class TestNanSafety:
+    def test_nan_gauge_omits_sample_keeps_type(self):
+        reg = MetricsRegistry()
+        reg.gauge("ratio").set(float("nan"))
+        text = render_openmetrics(reg)
+        assert "# TYPE ratio gauge" in text
+        assert not any(line.startswith("ratio ") for line in text.splitlines())
+        assert not any(tok.lower() == "nan" for tok in text.split())
+
+    def test_jsonl_serialises_nan_as_null(self):
+        reg = MetricsRegistry()
+        reg.gauge("ratio").set(float("nan"))
+        (line,) = render_jsonl(reg).splitlines()
+        assert json.loads(line)["value"] is None
+        assert "nan" not in line.lower()
+
+    def test_histogram_inf_quantile_is_json_safe(self):
+        # p99 above the last bound is +inf; JSON surfaces must encode it
+        # losslessly without emitting an invalid `Infinity` literal.
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1.0,)).observe(100.0)
+        snap = export_snapshot(reg)["h"]
+        assert snap["p99"] == "+Inf"
+        json.loads(render_jsonl(reg))  # must not raise
+
+    def test_nullsafe_value_helper(self):
+        assert nullsafe_value(None) is None
+        assert nullsafe_value(float("nan")) is None
+        assert nullsafe_value(2.5) == 2.5
+
+
+class TestRoundTrip:
+    def test_parse_recovers_exact_snapshot(self):
+        reg = _populated_registry()
+        assert parse_openmetrics(render_openmetrics(reg)) == export_snapshot(reg)
+
+    def test_round_trip_with_empty_histogram(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty.h", bounds=(1.0, 2.0), help="never observed")
+        assert parse_openmetrics(render_openmetrics(reg)) == export_snapshot(reg)
+
+    def test_round_trip_with_nan_gauge(self):
+        reg = MetricsRegistry()
+        reg.gauge("seen").set(3.0)
+        reg.gauge("unseen")
+        parsed = parse_openmetrics(render_openmetrics(reg))
+        assert parsed == {"seen": 3.0, "unseen": None}
+
+    def test_unparseable_line_raises(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_openmetrics("!!! not a metric line\n")
+
+    def test_counter_renders_with_total_suffix(self):
+        reg = MetricsRegistry()
+        reg.counter("events.write").inc(3)
+        text = render_openmetrics(reg)
+        assert "events_write_total 3" in text
+        assert text.endswith("# EOF\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", bounds=(1.0, 2.0))
+        for v in (0.5, 1.5, 1.5, 5.0):
+            hist.observe(v)
+        lines = render_openmetrics(reg).splitlines()
+        assert 'h_bucket{le="1"} 1' in lines
+        assert 'h_bucket{le="2"} 3' in lines
+        assert 'h_bucket{le="+Inf"} 4' in lines
+        assert "h_count 4" in lines
+
+    def test_extra_keys_merge_into_every_jsonl_line(self):
+        reg = _populated_registry()
+        for line in render_jsonl(reg, extra={"sweep": 2}).splitlines():
+            assert json.loads(line)["sweep"] == 2
+
+
+class TestSnapshotShape:
+    def test_snapshot_uses_exposition_names(self):
+        snap = export_snapshot(_populated_registry())
+        assert set(snap) == {
+            "events_write", "events_read", "run_cycles", "run_wa_ratio", "lat_cell_s",
+        }
+        assert snap["run_wa_ratio"] is None
+        assert snap["lat_cell_s"]["count"] == 5.0
+        assert not math.isnan(snap["run_cycles"])
