@@ -28,9 +28,11 @@ bench:
 	$(PYTHON) -m repro.obs.regress append --bench runner BENCH_runner.json
 
 # Simulator benchmark: events/sec for the reference (per-access event)
-# vs. batched stream interpreter on every machine preset, with a
-# bit-identity check between the two paths.  Writes BENCH_sim.json and
-# appends the run to the BENCH_history.jsonl trajectory.
+# vs. batched stream interpreter on every machine preset — warm/cold
+# sequential plus the page-shuffled rand_write_cold / rand_read_cold /
+# mixed_cold matrix (DESIGN.md §15) — with a bit-identity check between
+# the two paths.  Writes BENCH_sim.json and appends the run to the
+# BENCH_history.jsonl trajectory, where bench-check gates it.
 bench-sim:
 	$(PYTHON) -m repro.sim.bench --out BENCH_sim.json
 	$(PYTHON) -m repro.obs.regress append --bench sim BENCH_sim.json

@@ -181,6 +181,12 @@ class MetricTrend:
     tolerance: float = 0.0
     #: ``"ok"`` / ``"regressed"`` / ``"improved"`` / ``"new"``.
     verdict: str = "ok"
+    #: True when the metric was numeric in the previous entry but is
+    #: absent from the latest — which is how a NaN/inf leaf presents,
+    #: since :func:`flatten_metrics` drops non-finite values.  Gated
+    #: metrics that vanish regress explicitly rather than silently
+    #: disappearing from the report.
+    vanished: bool = False
 
     @property
     def latest(self) -> float:
@@ -191,22 +197,38 @@ class MetricTrend:
         return self.values[-2] if len(self.values) > 1 else None
 
     def sparkline(self, width: int = 24) -> str:
+        # Histories written by hand or by older tools can carry NaN/inf
+        # points (json accepts them); render those as "?" instead of
+        # poisoning min/max or crashing round().
         values = self.values[-width:]
-        lo, hi = min(values), max(values)
+        finite = [v for v in values if math.isfinite(v)]
+        if not finite:
+            return "?" * len(values)
+        lo, hi = min(finite), max(finite)
         if hi <= lo:
-            return _RAMP[len(_RAMP) // 2] * len(values)
+            mid = _RAMP[len(_RAMP) // 2]
+            return "".join(mid if math.isfinite(v) else "?" for v in values)
         scale = len(_RAMP) - 1
-        return "".join(_RAMP[round(scale * (v - lo) / (hi - lo))] for v in values)
+        return "".join(
+            _RAMP[round(scale * (v - lo) / (hi - lo))] if math.isfinite(v) else "?"
+            for v in values
+        )
 
     def describe(self) -> str:
         prev = self.previous
+        gate = self.direction or "trend"
+        if self.vanished:
+            return (
+                f"[{self.verdict.upper():>9s}] {self.bench}:{self.metric}  "
+                f"went non-finite (last numeric value {self.latest:g}, gate={gate})  "
+                f"|{self.sparkline()}|"
+            )
         if prev is None:
             change = "new"
-        elif prev == 0:
+        elif prev == 0 or not math.isfinite(prev) or not math.isfinite(self.latest):
             change = f"{prev:g} -> {self.latest:g}"
         else:
             change = f"{(self.latest - prev) / abs(prev):+.1%}"
-        gate = self.direction or "trend"
         return (
             f"[{self.verdict.upper():>9s}] {self.bench}:{self.metric}  "
             f"{self.latest:g} ({change}, gate={gate}"
@@ -256,6 +278,13 @@ class RegressionReport:
 
 
 def _verdict(direction: str, tolerance: float, prev: float, latest: float) -> str:
+    # NaN-vs-number must be an explicit verdict: every comparison below
+    # is False against NaN, which would fall through to "ok" — the one
+    # outcome a non-finite measurement must never produce.
+    if not math.isfinite(latest):
+        return "regressed"
+    if not math.isfinite(prev):
+        return "ok"  # recovered; nothing numeric to compare against
     if direction == "exact":
         if latest < prev:
             return "regressed"
@@ -313,6 +342,34 @@ def check_history(
                     trend.direction, trend.tolerance, trend.values[-2], trend.latest
                 )
             report.trends.append(trend)
+        if previous is None:
+            continue
+        # Gated metrics that were numeric before but are gone now: a
+        # NaN/inf measurement presents exactly like this (flatten drops
+        # non-finite leaves), and it must regress explicitly instead of
+        # silently dropping out of the comparison.
+        prev_metrics: Dict[str, float] = dict(previous["metrics"])  # type: ignore[arg-type]
+        for metric in sorted(set(prev_metrics) - set(latest_metrics)):
+            gate = _gate_for(metric)
+            if gate is None:
+                continue
+            points = [
+                (float(e["metrics"][metric]), str(e["fingerprint"]))  # type: ignore[index]
+                for e in series
+                if metric in e["metrics"]  # type: ignore[operator]
+            ]
+            report.trends.append(
+                MetricTrend(
+                    bench=bench_id,
+                    metric=metric,
+                    values=[v for v, _ in points],
+                    fingerprints=[fp for _, fp in points],
+                    direction=gate[0],
+                    tolerance=gate[1],
+                    verdict="regressed",
+                    vanished=True,
+                )
+            )
     return report
 
 

@@ -117,8 +117,11 @@ def run_bench(
 
     deterministic = serial["jsons"] == parallel_cold["jsons"]
     warm_all_cached = parallel_warm["cached"] == len(cells)
+    # NaN, not inf, when the parallel phase measured no time: the ratio
+    # has no data (DESIGN.md §9), and inf would read as an infinitely
+    # good speedup in the regression gate.
     speedup = (
-        serial["wall_s"] / parallel_cold["wall_s"] if parallel_cold["wall_s"] > 0 else float("inf")
+        serial["wall_s"] / parallel_cold["wall_s"] if parallel_cold["wall_s"] > 0 else float("nan")
     )
 
     doc = {

@@ -334,7 +334,9 @@ class SweepMonitor:
         """The ``--watch`` TTY view: progress bar + fleet aggregates."""
 
         def fmt(value: float, suffix: str = "") -> str:
-            return "-" if math.isnan(value) else f"{value:,.2f}{suffix}"
+            # Dash on *any* non-finite ratio, not just NaN: an instant
+            # sweep (100% cache hits, elapsed ~ 0) must never print inf.
+            return f"{value:,.2f}{suffix}" if math.isfinite(value) else "-"
 
         done, total = self.done, self.total
         frac = done / total if total else 0.0

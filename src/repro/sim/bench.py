@@ -27,6 +27,7 @@ import cProfile
 import io
 import json
 import pstats
+import random
 import sys
 import time
 from typing import Callable, Dict, Iterator, Optional, Tuple
@@ -89,11 +90,62 @@ def _seq_read_warm(t: ThreadCtx, buf_bytes: int, passes: int) -> Iterator[Event]
             yield from t.read_block(buf.base, buf_bytes)
 
 
+#: Page size used to scramble the cold benchmarks: one stream event per
+#: page keeps the event sequence identical in both vocabularies while the
+#: page order defeats the set-sequential locality the ``seq_*`` cold
+#: benchmarks enjoy — this is what exercises the fused miss path's hashed
+#: LLC indexing and combiner thrash.
+_PAGE = 4096
+
+
+def _shuffled_pages(buf_bytes: int, seed: int) -> list:
+    offsets = list(range(0, buf_bytes, _PAGE))
+    random.Random(seed).shuffle(offsets)
+    return offsets
+
+
+def _rand_write_cold(t: ThreadCtx, buf_bytes: int, passes: int) -> Iterator[Event]:
+    """Page-shuffled stores over a buffer far larger than the caches."""
+    buf = t.alloc(buf_bytes, label="bench_rand_w")
+    pages = _shuffled_pages(buf_bytes, seed=0xC01D)
+    with t.function("bench_rand_write_cold", file="bench.py", line=4):
+        for _ in range(passes):
+            for off in pages:
+                yield from t.write_block(buf.base + off, min(_PAGE, buf_bytes - off))
+
+
+def _rand_read_cold(t: ThreadCtx, buf_bytes: int, passes: int) -> Iterator[Event]:
+    """Page-shuffled loads over a buffer far larger than the caches."""
+    buf = t.alloc(buf_bytes, label="bench_rand_r")
+    pages = _shuffled_pages(buf_bytes, seed=0xC01D)
+    with t.function("bench_rand_read_cold", file="bench.py", line=5):
+        for _ in range(passes):
+            for off in pages:
+                yield from t.read_block(buf.base + off, min(_PAGE, buf_bytes - off))
+
+
+def _mixed_cold(t: ThreadCtx, buf_bytes: int, passes: int) -> Iterator[Event]:
+    """Alternating page-shuffled stores and loads (both fused loops)."""
+    buf = t.alloc(buf_bytes, label="bench_mixed")
+    pages = _shuffled_pages(buf_bytes, seed=0x313D)
+    with t.function("bench_mixed_cold", file="bench.py", line=6):
+        for _ in range(passes):
+            for i, off in enumerate(pages):
+                size = min(_PAGE, buf_bytes - off)
+                if i & 1:
+                    yield from t.read_block(buf.base + off, size)
+                else:
+                    yield from t.write_block(buf.base + off, size)
+
+
 #: name -> (body, full (buf_bytes, passes), quick (buf_bytes, passes)).
 BENCHMARKS: Dict[str, Tuple[Callable[..., Iterator[Event]], Tuple[int, int], Tuple[int, int]]] = {
     "seq_write_warm": (_seq_write_warm, (16 * 1024, 400), (16 * 1024, 60)),
     "seq_write_cold": (_seq_write_cold, (2 * 1024 * 1024, 1), (256 * 1024, 1)),
     "seq_read_warm": (_seq_read_warm, (16 * 1024, 400), (16 * 1024, 60)),
+    "rand_write_cold": (_rand_write_cold, (1024 * 1024, 1), (128 * 1024, 1)),
+    "rand_read_cold": (_rand_read_cold, (1024 * 1024, 1), (128 * 1024, 1)),
+    "mixed_cold": (_mixed_cold, (1024 * 1024, 1), (128 * 1024, 1)),
 }
 
 
@@ -132,12 +184,15 @@ def _measure(
         entry[label] = {
             "seconds": best,
             "instructions": result.instructions,
-            "events_per_sec": result.instructions / best if best > 0 else float("inf"),
+            # NaN, not inf, on an unmeasurable (zero-time) run: a ratio
+            # with a zero denominator carries no data (DESIGN.md §9), and
+            # inf would silently win every "faster than" comparison
+            # downstream.
+            "events_per_sec": result.instructions / best if best > 0 else float("nan"),
         }
+    ref_eps = entry["reference"]["events_per_sec"]
     entry["speedup"] = (
-        entry["fast"]["events_per_sec"] / entry["reference"]["events_per_sec"]
-        if entry["reference"]["events_per_sec"]
-        else float("inf")
+        entry["fast"]["events_per_sec"] / ref_eps if ref_eps > 0 else float("nan")
     )
     entry["identical"] = jsons["reference"] == jsons["fast"]
     return entry

@@ -16,6 +16,14 @@ Model choices (documented in DESIGN.md):
 * The hierarchy is shared by all simulated cores.  Private L1s would only
   change constants; the eviction-order scrambling the paper measures comes
   from the shared last level, which this models directly.
+
+Storage layout (DESIGN.md §15): each level keeps its tags and dirty bits
+as flat structure-of-arrays — one tags array and one dirty byte array of
+``num_sets * ways`` slots, plus a ``line -> slot`` index — instead of
+per-way objects.  The flat slot number (``set * ways + way``) is the only
+handle the hot paths pass around, and bulk operations (the end-of-run
+drain, state snapshots) read the arrays columnwise, with numpy when it is
+available.
 """
 
 from __future__ import annotations
@@ -24,9 +32,22 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.sim.replacement import ReplacementPolicy
+from repro.sim.replacement import (
+    _PLRU_LUT_MAX_WAYS,
+    IntelLikePolicy,
+    ReplacementPolicy,
+    _plru_lut,
+)
+
+try:  # pragma: no cover - exercised implicitly everywhere numpy exists
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the standard image
+    _np = None  # type: ignore[assignment]
 
 __all__ = ["CacheLevelSpec", "CacheStats", "CacheLevel", "Eviction", "CacheHierarchy"]
+
+#: Tag value of an empty slot (line numbers are non-negative).
+EMPTY = -1
 
 
 @dataclass(frozen=True)
@@ -83,16 +104,6 @@ class Eviction:
     dirty: bool
 
 
-class _Way:
-    """One way of one set (a tag and its dirty bit)."""
-
-    __slots__ = ("line", "dirty")
-
-    def __init__(self) -> None:
-        self.line: Optional[int] = None
-        self.dirty = False
-
-
 class CacheLevel:
     """One set-associative, write-back, write-allocate cache level.
 
@@ -102,6 +113,10 @@ class CacheLevel:
     sets of the (consecutive) lines that make up one device-granularity
     block, so their evictions are *not* naturally co-scheduled — which is
     part of why hardware eviction order looks random to the device.
+
+    State is structure-of-arrays: ``_tags[slot]`` holds the resident line
+    (:data:`EMPTY` for a free way), ``_dirty[slot]`` its dirty bit, and
+    ``_index`` maps a line to its flat slot.  ``slot = set * ways + way``.
     """
 
     def __init__(
@@ -119,12 +134,16 @@ class CacheLevel:
         # direct constructions that forgot to pass it twice.
         self.hashed_index = spec.hashed_index
         self.num_sets = spec.size_bytes // (spec.ways * line_size)
-        self._sets: List[List[_Way]] = [
-            [_Way() for _ in range(spec.ways)] for _ in range(self.num_sets)
-        ]
+        self._ways = spec.ways
+        slots = self.num_sets * spec.ways
+        self._tags: List[int] = [EMPTY] * slots
+        self._dirty = bytearray(slots)
+        #: Occupied ways per set; lets installs skip the empty-way scan
+        #: once a set is full (the steady state of every miss stream).
+        self._set_fill: List[int] = [0] * self.num_sets
         self._policy_state = [policy.new_set(spec.ways) for _ in range(self.num_sets)]
-        # line -> (set index, way index); the fast path for lookups.
-        self._index: Dict[int, Tuple[int, int]] = {}
+        # line -> flat slot; the fast path for lookups.
+        self._index: Dict[int, int] = {}
         # line -> hashed set index, memoised (bounded by touched lines).
         self._set_cache: Dict[int, int] = {}
         #: Whether repeated ``on_access`` calls may be collapsed to one
@@ -149,10 +168,10 @@ class CacheLevel:
         return line in self._index
 
     def is_dirty(self, line: int) -> bool:
-        loc = self._index.get(line)
-        if loc is None:
+        slot = self._index.get(line)
+        if slot is None:
             return False
-        return self._sets[loc[0]][loc[1]].dirty
+        return bool(self._dirty[slot])
 
     def resident_lines(self) -> Iterator[int]:
         """All lines currently cached at this level."""
@@ -167,10 +186,26 @@ class CacheLevel:
         scrambled as ordinary evictions; draining in sorted address order
         would fabricate merging the hardware cannot do.
         """
-        for ways in self._sets:
-            for way in ways:
-                if way.line is not None:
-                    yield way.line
+        for tag in self._tags:
+            if tag != EMPTY:
+                yield tag
+
+    def tags_array(self):
+        """The tags column as a numpy array (copy); list without numpy.
+
+        Slot order is physical (set, way) order; :data:`EMPTY` marks a
+        free way.  Bulk readers (state snapshots, the fault harness's
+        dirty-set capture, tests) use this instead of walking slots.
+        """
+        if _np is None:  # pragma: no cover - numpy is in the standard image
+            return list(self._tags)
+        return _np.array(self._tags, dtype=_np.int64)
+
+    def dirty_array(self):
+        """The dirty column as a numpy uint8 view (zero-copy) or bytes."""
+        if _np is None:  # pragma: no cover - numpy is in the standard image
+            return bytes(self._dirty)
+        return _np.frombuffer(self._dirty, dtype=_np.uint8)
 
     @property
     def capacity_lines(self) -> int:
@@ -187,15 +222,16 @@ class CacheLevel:
         Returns True on hit.  Misses are *not* filled here — the hierarchy
         decides fill order; see :meth:`install`.
         """
-        loc = self._index.get(line)
-        if loc is None:
+        slot = self._index.get(line)
+        if slot is None:
             self.stats.misses += 1
             return False
         self.stats.hits += 1
-        set_i, way_i = loc
-        self.policy.on_access(self._policy_state[set_i], way_i)
+        ways = self._ways
+        set_i = slot // ways
+        self.policy.on_access(self._policy_state[set_i], slot - set_i * ways)
         if is_write:
-            self._sets[set_i][way_i].dirty = True
+            self._dirty[slot] = 1
         return True
 
     def install(self, line: int, dirty: bool = False) -> Optional[Eviction]:
@@ -204,31 +240,44 @@ class CacheLevel:
         Returns the eviction (if any).  Installing an already-present line
         just refreshes recency and ORs in the dirty bit.
         """
-        loc = self._index.get(line)
-        if loc is not None:
-            set_i, way_i = loc
-            self.policy.on_access(self._policy_state[set_i], way_i)
+        ways = self._ways
+        slot = self._index.get(line)
+        if slot is not None:
+            set_i = slot // ways
+            self.policy.on_access(self._policy_state[set_i], slot - set_i * ways)
             if dirty:
-                self._sets[set_i][way_i].dirty = True
+                self._dirty[slot] = 1
             return None
         set_i = self.set_index(line)
-        ways = self._sets[set_i]
+        tags = self._tags
+        base = set_i * ways
         evicted: Optional[Eviction] = None
-        way_i = next((i for i, w in enumerate(ways) if w.line is None), None)
-        if way_i is None:
+        way_i = -1
+        if self._set_fill[set_i] < ways:
+            for i in range(ways):
+                if tags[base + i] == EMPTY:
+                    way_i = i
+                    break
+            self._set_fill[set_i] += 1
+        if way_i < 0:
             way_i = self.policy.victim(self._policy_state[set_i])
-            victim = ways[way_i]
-            if victim.line is None:  # pragma: no cover - defensive
+            vslot = base + way_i
+            victim_line = tags[vslot]
+            if victim_line == EMPTY:
+                # The empty-way scan above ran first, so a full set is an
+                # invariant here: every way the policy may rank holds a
+                # resident line.  Tested in tests/test_cache_invariants.py.
                 raise SimulationError(f"{self.spec.name}: policy chose an empty way as victim")
-            evicted = Eviction(victim.line, victim.dirty)
-            del self._index[victim.line]
+            victim_dirty = self._dirty[vslot]
+            evicted = Eviction(victim_line, bool(victim_dirty))
+            del self._index[victim_line]
             self.stats.evictions += 1
-            if victim.dirty:
+            if victim_dirty:
                 self.stats.dirty_evictions += 1
-        slot = ways[way_i]
-        slot.line = line
-        slot.dirty = dirty
-        self._index[line] = (set_i, way_i)
+        slot = base + way_i
+        tags[slot] = line
+        self._dirty[slot] = 1 if dirty else 0
+        self._index[line] = slot
         self.policy.on_insert(self._policy_state[set_i], way_i)
         return evicted
 
@@ -239,25 +288,24 @@ class CacheLevel:
         is owed to the next level).  This is the cache-state effect of a
         *clean* pre-store (``clwb``): data stays cached.
         """
-        loc = self._index.get(line)
-        if loc is None:
+        slot = self._index.get(line)
+        if slot is None:
             return False
-        slot = self._sets[loc[0]][loc[1]]
-        was_dirty = slot.dirty
-        slot.dirty = False
+        was_dirty = bool(self._dirty[slot])
+        self._dirty[slot] = 0
         if was_dirty:
             self.stats.cleans += 1
         return was_dirty
 
     def invalidate(self, line: int) -> Tuple[bool, bool]:
         """Drop ``line``; returns ``(was_present, was_dirty)``."""
-        loc = self._index.pop(line, None)
-        if loc is None:
+        slot = self._index.pop(line, None)
+        if slot is None:
             return (False, False)
-        slot = self._sets[loc[0]][loc[1]]
-        was_dirty = slot.dirty
-        slot.line = None
-        slot.dirty = False
+        was_dirty = bool(self._dirty[slot])
+        self._tags[slot] = EMPTY
+        self._dirty[slot] = 0
+        self._set_fill[slot // self._ways] -= 1
         self.stats.invalidations += 1
         return (True, was_dirty)
 
@@ -266,6 +314,138 @@ class CacheLevel:
             f"<CacheLevel {self.spec.name}: {self.spec.size_bytes}B, "
             f"{self.num_sets}x{self.spec.ways} ways, line={self.line_size}B>"
         )
+
+
+def _build_fill_all(levels: Sequence["CacheLevel"]):
+    """Generate the fused miss-everywhere fill walk (DESIGN.md §15).
+
+    Emits one specialised ``fill_all(line, wb) -> int`` that installs
+    ``line`` into every level, outermost first — first-empty-way scan,
+    else the policy's fused ``evict_insert`` — propagating evictions the
+    way the generic walk does: an inner victim pushes its dirt one level
+    out (inclusion keeps it resident below), the last-level victim
+    back-invalidates the inner columns, and dirt that reaches memory is
+    appended to ``wb``.  Returns the innermost (L1) slot the line landed
+    in.
+
+    The source is generated per hierarchy and ``exec``-compiled once
+    (the ``collections.namedtuple`` technique), so every per-level
+    constant — way count, set count, hash choice, policy flavour — is
+    baked in as a literal and every column is a plain name binding: a
+    three-level cold fill runs without a single Python call beyond the
+    policy's RNG draw.  Levels running :class:`IntelLikePolicy` on
+    LUT-sized sets get the victim pick and recency touch emitted as the
+    table lookups ``evict_insert``/``on_access`` would perform —
+    identical RNG draws, identical state transitions — while any other
+    policy keeps its bound method calls, so seeded runs are
+    bit-identical to the generic walk either way.
+    """
+    last = len(levels) - 1
+    ns: dict = {"SimulationError": SimulationError}
+    src = ["def fill_all(line, wb):"]
+    for i in range(last, -1, -1):
+        lvl = levels[i]
+        ways = lvl._ways
+        ns[f"t{i}"] = lvl._tags
+        ns[f"d{i}"] = lvl._dirty
+        ns[f"x{i}"] = lvl._index
+        ns[f"p{i}"] = lvl._policy_state
+        ns[f"fl{i}"] = lvl._set_fill
+        ns[f"st{i}"] = lvl.stats
+        policy = lvl.policy
+        intel = type(policy) is IntelLikePolicy and ways <= _PLRU_LUT_MAX_WAYS
+        if intel:
+            ns[f"a{i}"], ns[f"o{i}"], ns[f"v{i}"] = _plru_lut(ways)
+            ns[f"r{i}"] = policy._rand
+        else:
+            ns[f"oi{i}"] = policy.on_insert
+            ns[f"ei{i}"] = policy.evict_insert
+            ns[f"oa{i}"] = policy.on_access
+        src.append(f"    # -- {lvl.spec.name} --")
+        if lvl.hashed_index:
+            src.append(f"    set_i = ((line * 0x9E3779B97F4A7C15) >> 17) % {lvl.num_sets}")
+        else:
+            src.append(f"    set_i = line % {lvl.num_sets}")
+        src.append(f"    base = set_i * {ways}")
+        src.append(f"    if fl{i}[set_i] < {ways}:")
+        src.append(f"        slot = base")
+        src.append(f"        while t{i}[slot] != {EMPTY}:")
+        src.append( "            slot += 1")
+        src.append(f"        t{i}[slot] = line")
+        src.append(f"        d{i}[slot] = 0")
+        src.append(f"        x{i}[line] = slot")
+        src.append(f"        fl{i}[set_i] += 1")
+        if intel:
+            src.append( "        w = slot - base")
+            src.append(f"        s = p{i}[set_i]")
+            src.append(f"        s[0] = (s[0] & a{i}[w]) | o{i}[w]")
+        else:
+            src.append(f"        oi{i}(p{i}[set_i], slot - base)")
+        if i == 0:
+            src.append("        return slot")
+            E = "    "
+        else:
+            src.append("    else:")
+            E = "        "
+        if intel:
+            src.append(E + f"s = p{i}[set_i]")
+            src.append(E + "si = s[0]")
+            src.append(E + f"if r{i}() < {policy.random_prob!r}:")
+            src.append(E + f"    w = int(r{i}() * {ways})")
+            src.append(E + "else:")
+            src.append(E + f"    w = v{i}[si]")
+            src.append(E + f"s[0] = (si & a{i}[w]) | o{i}[w]")
+        else:
+            src.append(E + f"w = ei{i}(p{i}[set_i])")
+        src.append(E + "vslot = base + w")
+        src.append(E + f"victim = t{i}[vslot]")
+        src.append(E + f"if victim == {EMPTY}:")
+        # The set is full here (set_fill == ways), so every way the
+        # policy may rank holds a resident line; a miss means the policy
+        # state desynced from the tag column.
+        src.append(E + f"    raise SimulationError({lvl.spec.name!r} + ': policy chose an empty way as victim')")
+        src.append(E + f"vd = d{i}[vslot]")
+        src.append(E + f"del x{i}[victim]")
+        src.append(E + f"st{i}.evictions += 1")
+        src.append(E + "if vd:")
+        src.append(E + f"    st{i}.dirty_evictions += 1")
+        src.append(E + f"t{i}[vslot] = line")
+        src.append(E + f"d{i}[vslot] = 0")
+        src.append(E + f"x{i}[line] = vslot")
+        if i == last:
+            src.append(E + "owed = vd != 0")
+            for j in range(last):
+                src.append(E + f"islot = x{j}.pop(victim, None)")
+                src.append(E + "if islot is not None:")
+                src.append(E + f"    if d{j}[islot]:")
+                src.append(E + "        owed = True")
+                src.append(E + f"        d{j}[islot] = 0")
+                src.append(E + f"    t{j}[islot] = {EMPTY}")
+                src.append(E + f"    fl{j}[islot // {levels[j]._ways}] -= 1")
+                src.append(E + f"    st{j}.invalidations += 1")
+            src.append(E + "if owed:")
+            src.append(E + "    wb.append(victim)")
+        else:
+            b = i + 1
+            b_lvl = levels[b]
+            b_intel = type(b_lvl.policy) is IntelLikePolicy and b_lvl._ways <= _PLRU_LUT_MAX_WAYS
+            src.append(E + f"bslot = x{b}.get(victim)")
+            src.append(E + "if bslot is None:")
+            src.append(E + "    if vd:")
+            src.append(E + "        wb.append(victim)")
+            src.append(E + "elif vd:")
+            src.append(E + f"    bset = bslot // {b_lvl._ways}")
+            if b_intel:
+                src.append(E + f"    bw = bslot - bset * {b_lvl._ways}")
+                src.append(E + f"    bs = p{b}[bset]")
+                src.append(E + f"    bs[0] = (bs[0] & a{b}[bw]) | o{b}[bw]")
+            else:
+                src.append(E + f"    oa{b}(p{b}[bset], bslot - bset * {b_lvl._ways})")
+            src.append(E + f"    d{b}[bslot] = 1")
+        if i == 0:
+            src.append(E + "return vslot")
+    exec(compile("\n".join(src), "<fused-fill>", "exec"), ns)
+    return ns["fill_all"]
 
 
 @dataclass
@@ -314,6 +494,14 @@ class CacheHierarchy:
         l1 = self.levels[0]
         self._l1_index = l1._index
         self._l1_hit = HierarchyAccessResult(l1.spec.name, l1.spec.hit_latency, (), False)  # type: ignore[arg-type]
+        # Fused miss walk (DESIGN.md §15): one generated function for the
+        # whole hierarchy, specialised to its level geometry and
+        # policies.  All referenced containers are mutated in place and
+        # never reassigned, so the generated code stays valid for the
+        # hierarchy's life.
+        self._level_stats = [lvl.stats for lvl in self.levels]
+        self._fill_all = _build_fill_all(self.levels)
+        self._l1_mark = (l1._index, l1._dirty, l1._policy_state, l1.policy.on_access, l1._ways)
 
     @property
     def last_level(self) -> CacheLevel:
@@ -330,8 +518,8 @@ class CacheHierarchy:
         Latency is the hit latency of the level that hit (memory latency
         is added by the CPU, which owns the device clock).
         """
-        loc = self._l1_index.get(line)
-        if loc is not None:
+        slot = self._l1_index.get(line)
+        if slot is not None:
             # Innermost hit: bump stats/recency/dirtiness in place and
             # return the shared result — no Eviction, list, or result
             # allocation.  Equivalent to the generic path below: that
@@ -339,11 +527,13 @@ class CacheHierarchy:
             # explicit -1) and touches the policy twice with the same
             # way, which idempotent policies collapse to one touch.
             l1 = self.levels[0]
-            set_i, way_i = loc
+            ways = l1._ways
+            set_i = slot // ways
+            way_i = slot - set_i * ways
             l1.stats.hits += 1
             l1.policy.on_access(l1._policy_state[set_i], way_i)
             if is_write:
-                l1._sets[set_i][way_i].dirty = True
+                l1._dirty[slot] = 1
                 if not l1._idempotent_policy:
                     l1.policy.on_access(l1._policy_state[set_i], way_i)
             return self._l1_hit
@@ -362,21 +552,46 @@ class CacheHierarchy:
         if hit_at is None:
             # Miss everywhere: fill every level, outermost first so that
             # inclusion holds even if an inner install evicts.
-            for lvl in reversed(self.levels):
-                evicted = lvl.install(line, dirty=False)
+            for idx in range(len(self.levels) - 1, -1, -1):
+                evicted = self.levels[idx].install(line, dirty=False)
                 if evicted is not None:
-                    writebacks.extend(self._handle_eviction(lvl, evicted))
+                    writebacks.extend(self._handle_eviction(idx, evicted))
             if is_write:
                 self._mark_dirty_innermost(line)
             return HierarchyAccessResult("memory", latency, writebacks, memory_access=True)
         # Fill the levels above the hit (inclusive fills).
-        for lvl in reversed(self.levels[:hit_at]):
-            evicted = lvl.install(line, dirty=False)
+        for idx in range(hit_at - 1, -1, -1):
+            evicted = self.levels[idx].install(line, dirty=False)
             if evicted is not None:
-                writebacks.extend(self._handle_eviction(lvl, evicted))
+                writebacks.extend(self._handle_eviction(idx, evicted))
         if is_write:
             self._mark_dirty_innermost(line)
         return HierarchyAccessResult(self.levels[hit_at].spec.name, latency, writebacks)
+
+    def fill_write_miss(self, line: int, writebacks: List[int]) -> None:
+        """Fused write-allocate walk for a line resident *nowhere*.
+
+        Semantically identical to ``access_line(line, is_write=True)``
+        when every level misses — probe misses, outermost-first fills,
+        eviction propagation, innermost dirty marking — but operating
+        directly on the flat tag/dirty arrays: no Eviction, result, or
+        per-level list is allocated, and dirty lines that reach memory
+        are appended to the caller's ``writebacks`` scratch list.  The
+        policy call sequence (victim / on_insert / on_access) is the same
+        as the generic walk's, so seeded policies draw identical
+        randomness.  Callers must have established that no level contains
+        ``line``; the fused store loop in :mod:`repro.sim.cpu` is the
+        intended user.
+        """
+        for stats in self._level_stats:
+            stats.misses += 1
+        slot = self._fill_all(line, writebacks)
+        # _mark_dirty_innermost, fused: the line was just installed in L1
+        # at ``slot``.
+        _, l1_dirty, l1_pstates, l1_on_access, l1_ways = self._l1_mark
+        set_i = slot // l1_ways
+        l1_on_access(l1_pstates[set_i], slot - set_i * l1_ways)
+        l1_dirty[slot] = 1
 
     def _mark_dirty_innermost(self, line: int) -> None:
         for lvl in self.levels:
@@ -388,9 +603,9 @@ class CacheHierarchy:
                 return
         raise SimulationError(f"line {line:#x} vanished during fill")  # pragma: no cover
 
-    def _handle_eviction(self, from_level: CacheLevel, evicted: Eviction) -> List[int]:
-        """Propagate an eviction; returns dirty lines that reach memory."""
-        idx = self.levels.index(from_level)
+    def _handle_eviction(self, idx: int, evicted: Eviction) -> List[int]:
+        """Propagate an eviction from ``levels[idx]``; returns dirty
+        lines that reach memory."""
         if idx == len(self.levels) - 1:
             # LLC eviction: back-invalidate inner levels (inclusion) and
             # collect their dirtiness.
@@ -424,12 +639,20 @@ class CacheHierarchy:
             owed = lvl.clean(line) or owed
         return owed
 
-    def demote_line(self, line: int) -> bool:
+    def demote_line(self, line: int, writebacks: Optional[List[int]] = None) -> bool:
         """Demote a line from the innermost level towards the last level.
 
         Moves dirtiness (and recency priority) down: the line is dropped
         from inner levels and installed dirty in the last level, mirroring
         ``cldemote``.  Returns True if the line was present anywhere.
+
+        Re-installing into the last level can evict a victim; the
+        eviction is propagated (back-invalidations included) like any
+        fill's, and dirty lines that reach memory are appended to
+        ``writebacks`` when a list is given.  Dropping the eviction
+        here — as this method used to — left the victim resident in the
+        inner levels' indexes while gone from the LLC: exactly the stale
+        state the install-path victim invariant exists to catch.
         """
         present = False
         dirty = False
@@ -444,7 +667,11 @@ class CacheHierarchy:
                 last.access(line, is_write=True)
                 last.stats.hits -= 1
         elif present:
-            last.install(line, dirty=dirty)
+            evicted = last.install(line, dirty=dirty)
+            if evicted is not None:
+                owed = self._handle_eviction(len(self.levels) - 1, evicted)
+                if writebacks is not None:
+                    writebacks.extend(owed)
         return present
 
     def invalidate_line(self, line: int) -> bool:
@@ -468,16 +695,35 @@ class CacheHierarchy:
         powering down a machine with ``wbinvd``).  Lines come out in the
         last level's physical walk order — see
         :meth:`CacheLevel.walk_lines` for why sorted order would cheat.
+
+        The walk is columnwise over the flat dirty arrays: with numpy the
+        dirty slots of a level are found in one ``nonzero`` over the
+        byte column (ascending slot order *is* physical walk order),
+        which is what keeps the end-of-run drain cheap on LLC-sized
+        levels.
         """
         owed: List[int] = []
         seen = set()
         for lvl in reversed(self.levels):
-            for line in lvl.walk_lines():
-                if lvl.clean(line) and line not in seen:
+            stats = lvl.stats
+            tags = lvl._tags
+            if _np is not None:
+                dirty_slots = _np.nonzero(
+                    _np.frombuffer(lvl._dirty, dtype=_np.uint8)
+                )[0].tolist()
+            else:  # pragma: no cover - numpy is in the standard image
+                dirty_slots = [i for i, d in enumerate(lvl._dirty) if d]
+            for slot in dirty_slots:
+                line = tags[slot]
+                lvl._dirty[slot] = 0
+                stats.cleans += 1
+                if line not in seen:
                     seen.add(line)
                     owed.append(line)
         # Dirty lines only present in inner levels (not in the walk above
-        # because inclusion was momentarily broken) still owe a writeback.
+        # because inclusion was momentarily broken) are covered by the
+        # columnwise walk too; this second pass mirrors the historical
+        # per-level sweep for levels whose insertion order differs.
         for lvl in self.levels[:-1]:
             for line in list(lvl.resident_lines()):
                 if lvl.clean(line) and line not in seen:

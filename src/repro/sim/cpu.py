@@ -26,8 +26,9 @@ from typing import TYPE_CHECKING, Iterable, Optional
 from repro.core.prestore import CYCLES_PER_PRESTORE, PrestoreOp
 from repro.errors import SimulationError
 from repro.sim.event import STREAM_KINDS, Event, EventKind
+from repro.sim.replacement import _PLRU_LUT_MAX_WAYS, IntelLikePolicy, _plru_lut
 from repro.sim.stats import CoreStats
-from repro.sim.store_buffer import StoreBuffer, _Pending
+from repro.sim.store_buffer import StoreBuffer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.machine import Machine
@@ -61,6 +62,20 @@ class Core:
         self._l1_hit_latency = float(l1.spec.hit_latency)
         self._dir_latency = machine.device.directory_latency or machine.visibility.sram_directory_latency
         self._vis_cached = machine.visibility.visibility_latency(machine.device, True)
+        self._vis_uncached = machine.visibility.visibility_latency(machine.device, False)
+        #: Outer-level line indexes, innermost-but-one first — the fused
+        #: store loop's residency probe (replaces hierarchy.contains).
+        self._other_indexes = [lvl._index for lvl in machine.hierarchy.levels[1:]]
+        #: L1 recency-touch tables when L1 runs the LUT-encoded
+        #: intel-like policy: ``(and_masks, or_masks)`` let the fused
+        #: loops mark a hit way without a policy call (same state
+        #: transition on_access computes).  None on other policies.
+        self._l1_touch = None
+        if type(l1.policy) is IntelLikePolicy and l1._ways <= _PLRU_LUT_MAX_WAYS:
+            l1_and, l1_or, _ = _plru_lut(l1._ways)
+            self._l1_touch = (l1_and, l1_or)
+        #: Reusable writeback scratch for the fused miss walk.
+        self._wb_scratch: list = []
         #: The fused stream loop collapses the reference interpreter's
         #: repeated same-way policy touches into one; only sound when the
         #: innermost policy declares on_access idempotent.
@@ -230,27 +245,74 @@ class Core:
             offset += length
         return None
 
+    def _fused_store_miss_vis(self, line: int, base: float, now: float, tail: float) -> float:
+        """Visibility round trip of an *uncached* buffered store, fused.
+
+        Replicates ``StoreBuffer._start_visibility`` feeding
+        :meth:`_visibility_latency` for a line resident nowhere: the
+        write-allocate miss walk (:meth:`CacheHierarchy.fill_write_miss`),
+        the background read-for-ownership, ownership, and the dirty
+        writebacks the fills push out — with device traffic stamped at
+        ``now`` (the core clock, which under an overflow stall differs
+        from the visibility base ``base``).  Returns the absolute cycle
+        the store becomes visible, already clamped to the in-order
+        pipeline ``tail``.
+        """
+        machine = self.machine
+        wb = self._wb_scratch
+        del wb[:]
+        machine.hierarchy.fill_write_miss(line, wb)
+        line_size = machine.line_size
+        machine.device.read(line * line_size, line_size, now)
+        machine.line_owner[line] = self.core_id
+        if wb:
+            pending = self.store_buffer._pending
+            write_back = machine.device.write_back
+            pop = pending.pop
+            for w in wb:
+                write_back(w * line_size, line_size, now)
+                pop(w, None)
+            del wb[:]
+        vt = base + self._vis_uncached
+        if vt < tail:
+            vt = tail
+        return vt
+
     def _stream_write_fast(
         self, event: Event, strict_limit: float, loose_limit: float
     ) -> Optional[Event]:
-        """Fused sequential-store loop.
+        """Fused store loop, warm and cold.
 
         Per access this replicates, in order: ``execute``'s retirement
         accounting, ``_do_write``'s issue cost and resident-line dirtying,
         ``StoreBuffer.write``'s prune/coalesce/overflow/visibility logic
         (with the visibility latency of a cached line hoisted to a
-        constant), and ``_apply_backpressure`` — without allocating an
-        event, a range, a result, or a writeback list.  Any access that
-        is not a warm single-line store falls back to the reference
+        constant and the uncached miss walk fused via
+        :meth:`_fused_store_miss_vis`), and ``_apply_backpressure`` —
+        without allocating an event, a range, a result, or a writeback
+        list.  Only line-straddling chunks fall back to the reference
         per-event path mid-stream.
         """
         machine = self.machine
         line_size = machine.line_size
         l1 = self._l1
         l1_index = l1._index
-        l1_sets = l1._sets
+        l1_ways = l1._ways
+        l1_dirty = l1._dirty
         l1_pstate = l1._policy_state
         on_access = l1.policy.on_access
+        l1_touch = self._l1_touch
+        if l1_touch is not None:
+            l1_and, l1_or = l1_touch
+        else:
+            l1_and = l1_or = None  # type: ignore[assignment]
+        other_indexes = self._other_indexes
+        hierarchy = machine.hierarchy
+        slow_access = hierarchy._access_line_slow
+        fill_all = hierarchy._fill_all
+        level_stats = hierarchy._level_stats
+        wb = self._wb_scratch
+        vis_uncached = self._vis_uncached
         sb = self.store_buffer
         pending = sb._pending
         sb_stats = sb.stats
@@ -258,6 +320,38 @@ class Core:
         tso = sb.model == "tso"
         vis_cached = self._vis_cached
         device = machine.device
+        device_read = device.read
+        device_write_back = device.write_back
+        # Device state as loop locals (DESIGN.md §15): the bus/media
+        # horizons are read by the per-store backpressure check and
+        # advanced by every cold fill, so holding them in locals — synced
+        # around the rare out-of-line calls — removes the device's
+        # attribute traffic from the loop.  The inline read/write-back
+        # bodies below replicate MemoryDevice.read/write_back
+        # float-for-float; their returned completion times are unused on
+        # this path (visibility is the hoisted ``vis_uncached`` constant),
+        # so the trailing latency adds are dropped.
+        dstats = device.stats
+        combiner = device.combiner
+        c_open = combiner._open
+        c_cap = combiner.capacity
+        c_on_close = combiner.on_close
+        read_buf = device._read_buffer
+        rb_cap = device._combiner_entries
+        d_bw = device._bw
+        d_read_bw = device._read_bw
+        d_gran = device._gran
+        # Line-aligned, line-sized traffic stays within one internal
+        # block whenever lines are no wider than the device granularity
+        # (true for every preset); otherwise fall back to the bound
+        # methods, re-synced per call.
+        inline_dev = line_size <= d_gran
+        bus_nf = device._bus_next_free
+        media_nf = device._media_next_free
+        rr_nf = device._read_return_next_free
+        n_wb = 0  # inline writebacks since the last flush
+        n_cmerge = 0  # combiner merges since the last flush
+        n_cclose = 0  # combiner closes (= media writes) since the last flush
         backlog_limit = machine.spec.backlog_limit_cycles
         line_owner = machine.line_owner
         cid = self.stats.core_id
@@ -272,112 +366,293 @@ class Core:
         n_fast = 0  # fast-path accesses since the last flush
         n_coalesced = 0
         n_hits = 0  # L1 hit delta since the last flush
+        n_miss = 0  # fused miss-everywhere fills since the last flush
 
+        seq = chunk == line_size and addr % line_size == 0
+        line = addr // line_size - 1
         while offset < size:
             if not (clock < strict_limit and clock <= loose_limit):
                 break
-            length = chunk if size - offset >= chunk else size - offset
-            a = addr + offset
-            line = a // line_size
-            loc = l1_index.get(line) if (a + length - 1) // line_size == line else None
-            if loc is None:
-                # Cold or line-straddling chunk: flush the accumulators
-                # and run this one access down the reference path.
-                self.clock = clock
-                sb._pipeline_tail = tail
-                if n_fast:
-                    stats.instructions += n_fast
-                    stats.writes += n_fast
-                    sb_stats.stores_buffered += n_fast
-                    n_fast = 0
-                if n_coalesced:
-                    sb_stats.coalesced += n_coalesced
-                    n_coalesced = 0
-                if n_hits:
-                    l1.stats.hits += n_hits
-                    n_hits = 0
-                self.execute(
-                    Event.fast_access(EventKind.WRITE, a, length, False, relaxed, site, chain)
-                )
-                clock = self.clock
-                tail = sb._pipeline_tail
-                offset += length
-                continue
-            # Warm single-line store to an L1-resident line.
+            if seq:
+                # Aligned line-granular stream (the common case): chunks
+                # never straddle and the target line just increments.
+                line += 1
+                rem = size - offset
+                length = line_size if rem >= line_size else rem
+            else:
+                length = chunk if size - offset >= chunk else size - offset
+                a = addr + offset
+                line = a // line_size
+                if (a + length - 1) // line_size != line:
+                    # Line-straddling chunk: flush the accumulators and
+                    # run this one access down the reference path.
+                    self.clock = clock
+                    sb._pipeline_tail = tail
+                    if n_fast:
+                        stats.instructions += n_fast
+                        stats.writes += n_fast
+                        sb_stats.stores_buffered += n_fast
+                        n_fast = 0
+                    if n_coalesced:
+                        sb_stats.coalesced += n_coalesced
+                        n_coalesced = 0
+                    if n_hits:
+                        l1.stats.hits += n_hits
+                        n_hits = 0
+                    if n_miss:
+                        for lstats in level_stats:
+                            lstats.misses += n_miss
+                        if inline_dev:
+                            dstats.reads += n_miss
+                            dstats.bytes_read += n_miss * line_size
+                        n_miss = 0
+                    if n_wb:
+                        dstats.writebacks_received += n_wb
+                        dstats.bytes_received += n_wb * line_size
+                        n_wb = 0
+                    if n_cmerge:
+                        combiner.merges += n_cmerge
+                        n_cmerge = 0
+                    if n_cclose:
+                        combiner.closes += n_cclose
+                        dstats.media_writes += n_cclose
+                        dstats.media_bytes_written += n_cclose * d_gran
+                        n_cclose = 0
+                    device._bus_next_free = bus_nf
+                    device._media_next_free = media_nf
+                    device._read_return_next_free = rr_nf
+                    self.execute(
+                        Event.fast_access(
+                            EventKind.WRITE, a, length, False, relaxed, site, chain
+                        )
+                    )
+                    clock = self.clock
+                    tail = sb._pipeline_tail
+                    bus_nf = device._bus_next_free
+                    media_nf = device._media_next_free
+                    rr_nf = device._read_return_next_free
+                    offset += length
+                    continue
             n_fast += 1
-            set_i, way_i = loc
-            n_hits += 1
-            on_access(l1_pstate[set_i], way_i)
-            l1_sets[set_i][way_i].dirty = True
-            line_owner[line] = cid
+            loc = l1_index.get(line)
+            if loc is not None:
+                # Warm: L1-resident line is dirtied in place.
+                set_i = loc // l1_ways
+                n_hits += 1
+                way = loc - set_i * l1_ways
+                if l1_touch is not None:
+                    st = l1_pstate[set_i]
+                    st[0] = (st[0] & l1_and[way]) | l1_or[way]
+                else:
+                    on_access(l1_pstate[set_i], way)
+                l1_dirty[loc] = 1
+                line_owner[line] = cid
+                cached = True
+            else:
+                cached = False
+                for idx in other_indexes:
+                    if line in idx:
+                        cached = True
+                        break
+                if cached:
+                    # Resident in an outer level: promote and dirty it
+                    # (the walk's result is discarded, as _do_write's is).
+                    slow_access(line, True)
+                    line_owner[line] = cid
             clock += 1.0  # STORE_ISSUE_COST
             now = clock
             # Inline StoreBuffer._prune(now).
             while pending:
-                oldest = next(iter(pending.values()))
-                vt = oldest.visible_time
-                if vt is None or vt > now:
+                oline = next(iter(pending))
+                ovt = pending[oline]
+                if ovt is None or ovt > now:
                     break
-                del pending[oldest.line]
+                del pending[oline]
             if line in pending:
                 n_coalesced += 1
-                pending.move_to_end(line)
+                vt0 = pending.pop(line)  # re-insert to refresh FIFO position
+                pending[line] = vt0
             else:
                 stall = 0.0
                 if len(pending) >= capacity:
-                    oldest = next(iter(pending.values()))
-                    vt = oldest.visible_time
-                    if vt is None:
-                        oloc = l1_index.get(oldest.line)
+                    # oline/ovt are still the front entry: the prune loop
+                    # above peeked it before breaking, and nothing has
+                    # touched the buffer since.
+                    if ovt is None:
+                        # Weak model: the forced-out store's round trip
+                        # starts now.
+                        oloc = l1_index.get(oline)
                         if oloc is not None:
-                            # Weak model, forced-out line still in L1:
-                            # its visibility round trip is one more L1
-                            # write hit at the cached-line latency —
-                            # inline it like the TSO branch below.
-                            oset, oway = oloc
+                            # Still in L1: one more write hit at the
+                            # cached-line latency.
+                            oset = oloc // l1_ways
                             n_hits += 1
-                            on_access(l1_pstate[oset], oway)
-                            l1_sets[oset][oway].dirty = True
-                            line_owner[oldest.line] = cid
-                            vt = now + vis_cached
-                            if vt < tail:
-                                vt = tail
-                            oldest.visible_time = vt
-                            tail = vt
+                            on_access(l1_pstate[oset], oloc - oset * l1_ways)
+                            l1_dirty[oloc] = 1
+                            line_owner[oline] = cid
+                            ovt = now + vis_cached
+                            if ovt < tail:
+                                ovt = tail
+                            tail = ovt
                         else:
-                            # Forced-out line left the caches: the round
-                            # trip touches the hierarchy and the device —
-                            # run the real callback with synced state.
-                            self.clock = clock
-                            sb._pipeline_tail = tail
-                            sb._start_visibility(oldest, now, visibility)
-                            tail = sb._pipeline_tail
-                            vt = oldest.visible_time
-                    stall = vt - now
+                            ocached = False
+                            for idx in other_indexes:
+                                if oline in idx:
+                                    ocached = True
+                                    break
+                            # Both arms run out-of-line device traffic:
+                            # sync the horizon locals around the call.
+                            device._bus_next_free = bus_nf
+                            device._media_next_free = media_nf
+                            device._read_return_next_free = rr_nf
+                            if ocached:
+                                # Cached in an outer level: the round
+                                # trip runs the real callback (promote
+                                # walk) with synced state.
+                                self.clock = clock
+                                sb._pipeline_tail = tail
+                                ovt = sb._start_visibility(oline, now, visibility)
+                                tail = sb._pipeline_tail
+                            else:
+                                # Left the caches entirely: fused
+                                # write-allocate miss.
+                                ovt = self._fused_store_miss_vis(oline, now, now, tail)
+                                tail = ovt
+                            bus_nf = device._bus_next_free
+                            media_nf = device._media_next_free
+                            rr_nf = device._read_return_next_free
+                    stall = ovt - now
                     if stall < 0.0:
                         stall = 0.0
-                    del pending[oldest.line]
+                    del pending[oline]
                     sb_stats.overflow_drains += 1
-                entry = _Pending(line, now + stall)
-                pending[line] = entry
-                if tso:
-                    # Inline _start_visibility with the hoisted constant:
-                    # the line is L1-resident, so the visibility access
-                    # is one more L1 write hit — no fill, no device read,
-                    # no writebacks.
-                    n_hits += 1
-                    vt = now + stall + vis_cached
-                    if vt < tail:
-                        vt = tail
-                    entry.visible_time = vt
+                if not tso:
+                    pending[line] = None
+                else:
+                    # TSO: the round trip starts immediately (the parked
+                    # None insert is skipped — nothing observes the
+                    # buffer between insert and visibility start).
+                    if cached:
+                        # The line is L1-resident (warm, or just
+                        # promoted): one more write hit, no fill, no
+                        # device read, no writebacks.
+                        if loc is None:
+                            loc = l1_index[line]
+                        set_i = loc // l1_ways
+                        n_hits += 1
+                        way = loc - set_i * l1_ways
+                        if l1_touch is not None:
+                            st = l1_pstate[set_i]
+                            st[0] = (st[0] & l1_and[way]) | l1_or[way]
+                        else:
+                            on_access(l1_pstate[set_i], way)
+                        l1_dirty[loc] = 1
+                        vt = now + stall + vis_cached
+                        if vt < tail:
+                            vt = tail
+                    else:
+                        # Uncached: inline _fused_store_miss_vis — the
+                        # write-allocate fill walk, the read-for-
+                        # ownership, and the dirty writebacks the fills
+                        # push out (miss counters batched in n_miss).
+                        loc = fill_all(line, wb)
+                        n_miss += 1
+                        if l1_touch is None:
+                            set_i = loc // l1_ways
+                            on_access(l1_pstate[set_i], loc - set_i * l1_ways)
+                        # (LUT policies: the dirty-mark touch repeats the
+                        # install touch bit-for-bit, so it is skipped.)
+                        l1_dirty[loc] = 1
+                        if inline_dev:
+                            # Inline MemoryDevice.read (stats batched in
+                            # n_miss): the read-for-ownership occupies
+                            # the media unless the block was just read,
+                            # then returns over the shared link.
+                            block = line * line_size // d_gran
+                            if block in read_buf:
+                                del read_buf[block]  # refresh LRU position
+                                read_buf[block] = True
+                                media_bytes = 0
+                            else:
+                                media_bytes = d_gran
+                                read_buf[block] = True
+                                if len(read_buf) > rb_cap:
+                                    del read_buf[next(iter(read_buf))]
+                            start = now if now >= media_nf else media_nf
+                            media_nf = start + media_bytes / d_read_bw
+                            start = media_nf
+                            if bus_nf > start:
+                                start = bus_nf
+                            if rr_nf > start:
+                                start = rr_nf
+                            rr_nf = start + line_size / d_bw
+                        else:
+                            device._bus_next_free = bus_nf
+                            device._media_next_free = media_nf
+                            device._read_return_next_free = rr_nf
+                            device_read(line * line_size, line_size, now)
+                            bus_nf = device._bus_next_free
+                            media_nf = device._media_next_free
+                            rr_nf = device._read_return_next_free
+                        line_owner[line] = cid
+                        if wb:
+                            if inline_dev:
+                                for w in wb:
+                                    # Inline MemoryDevice.write_back +
+                                    # the single-block combiner add
+                                    # (stats batched in n_wb/n_cmerge/
+                                    # n_cclose).
+                                    n_wb += 1
+                                    start = now if now >= bus_nf else bus_nf
+                                    bus_done = start + line_size / d_bw
+                                    bus_nf = bus_done
+                                    block = w * line_size // d_gran
+                                    if block in c_open:
+                                        merged = c_open[block] + line_size
+                                        del c_open[block]  # refresh LRU
+                                        c_open[block] = (
+                                            d_gran if merged > d_gran else merged
+                                        )
+                                        n_cmerge += 1
+                                    else:
+                                        if len(c_open) >= c_cap:
+                                            evicted = next(iter(c_open))
+                                            del c_open[evicted]
+                                            n_cclose += 1
+                                            if c_on_close is not None:
+                                                c_on_close(evicted)
+                                            # The closed entry's media
+                                            # write queues behind the
+                                            # payload delivery.
+                                            start = (
+                                                bus_done
+                                                if bus_done >= media_nf
+                                                else media_nf
+                                            )
+                                            media_nf = start + d_gran / d_bw
+                                        c_open[block] = line_size
+                                    pending.pop(w, None)
+                            else:
+                                device._bus_next_free = bus_nf
+                                device._media_next_free = media_nf
+                                device._read_return_next_free = rr_nf
+                                for w in wb:
+                                    device_write_back(w * line_size, line_size, now)
+                                    pending.pop(w, None)
+                                bus_nf = device._bus_next_free
+                                media_nf = device._media_next_free
+                                rr_nf = device._read_return_next_free
+                            del wb[:]
+                        vt = now + stall + vis_uncached
+                        if vt < tail:
+                            vt = tail
+                    pending[line] = vt
                     tail = vt
                 if stall > 0.0:
                     clock += stall
                     stats.store_buffer_stall_cycles += stall
             # Inline _apply_backpressure().
-            bus = device._bus_next_free
-            media = device._media_next_free
-            horizon = bus if bus > media else media
+            horizon = bus_nf if bus_nf > media_nf else media_nf
             if horizon > clock:
                 excess = (horizon - clock) - backlog_limit
                 if excess > 0:
@@ -387,6 +662,9 @@ class Core:
 
         self.clock = clock
         sb._pipeline_tail = tail
+        device._bus_next_free = bus_nf
+        device._media_next_free = media_nf
+        device._read_return_next_free = rr_nf
         if n_fast:
             stats.instructions += n_fast
             stats.writes += n_fast
@@ -395,6 +673,21 @@ class Core:
             sb_stats.coalesced += n_coalesced
         if n_hits:
             l1.stats.hits += n_hits
+        if n_miss:
+            for lstats in level_stats:
+                lstats.misses += n_miss
+            if inline_dev:
+                dstats.reads += n_miss
+                dstats.bytes_read += n_miss * line_size
+        if n_wb:
+            dstats.writebacks_received += n_wb
+            dstats.bytes_received += n_wb * line_size
+        if n_cmerge:
+            combiner.merges += n_cmerge
+        if n_cclose:
+            combiner.closes += n_cclose
+            dstats.media_writes += n_cclose
+            dstats.media_bytes_written += n_cclose * d_gran
         if offset < size:
             event.addr = addr + offset
             event.size = size - offset
@@ -404,20 +697,27 @@ class Core:
     def _stream_read_fast(
         self, event: Event, strict_limit: float, loose_limit: float
     ) -> Optional[Event]:
-        """Fused sequential-load loop.
+        """Fused load loop, warm and cold.
 
         Warm single-line loads resolve to store-buffer forwarding or an
-        L1 hit (plus an owner-transfer charge) without allocations; any
-        other access falls back to the reference per-event path.
+        L1 hit (plus an owner-transfer charge) without allocations; cold
+        single-line loads run the generic hierarchy walk inline (fills,
+        evictions, the device read and the writebacks it pushes out)
+        without the per-event dispatch.  Only line-straddling chunks
+        fall back to the reference per-event path.
         """
         machine = self.machine
         line_size = machine.line_size
         l1 = self._l1
         l1_index = l1._index
+        l1_ways = l1._ways
         l1_pstate = l1._policy_state
         on_access = l1.policy.on_access
         l1_latency = self._l1_hit_latency
         dir_latency = self._dir_latency
+        slow_access = machine.hierarchy._access_line_slow
+        device_read = machine.device.read
+        device_write_back = machine.device.write_back
         pending = self.store_buffer._pending
         line_owner = machine.line_owner
         cid = self.stats.core_id
@@ -444,24 +744,46 @@ class Core:
                     clock += 1
                     offset += length
                     continue
+                owner = line_owner.get(line)
+                if owner is None or owner == cid:
+                    transfer = 0
+                else:
+                    # Pulling another core's private copy: directory
+                    # round trip; the line becomes shared.
+                    transfer = dir_latency
+                    del line_owner[line]
                 loc = l1_index.get(line)
                 if loc is not None:
-                    owner = line_owner.get(line)
-                    if owner is None or owner == cid:
-                        transfer = 0
-                    else:
-                        # Pulling another core's private copy: directory
-                        # round trip; the line becomes shared.
-                        transfer = dir_latency
-                        del line_owner[line]
                     n_fast += 1
-                    set_i, way_i = loc
+                    set_i = loc // l1_ways
                     n_hits += 1
-                    on_access(l1_pstate[set_i], way_i)
+                    on_access(l1_pstate[set_i], loc - set_i * l1_ways)
                     clock += l1_latency + transfer
                     offset += length
                     continue
-            # Miss or line-straddling chunk: reference path.
+                # Cold: the generic walk, inline.  Matches _do_read for
+                # a single non-forwarded line: fills and evictions, the
+                # (background) device read, writebacks stamped at the
+                # pre-wait clock, then the latency/occupancy wait.
+                n_fast += 1
+                res = slow_access(line, False)
+                hit_lat = float(res.latency) + transfer
+                if res.memory_access:
+                    done = device_read(line * line_size, line_size, clock)
+                else:
+                    done = clock
+                for w in res.writebacks:
+                    device_write_back(w * line_size, line_size, clock)
+                    pending.pop(w, None)
+                wait = done - clock
+                if wait > 0.0:
+                    stats.memory_read_cycles += wait
+                if hit_lat > wait:
+                    wait = hit_lat
+                clock += wait
+                offset += length
+                continue
+            # Line-straddling chunk: reference path.
             self.clock = clock
             if n_fast:
                 stats.instructions += n_fast
@@ -630,7 +952,15 @@ class Core:
                 started = self.store_buffer.demote(line, self.clock, self._visibility_latency)
                 if not started:
                     # Nothing parked: demote the cached copy down-hierarchy.
-                    machine.hierarchy.demote_line(line)
+                    # Re-installing into the last level can evict a victim
+                    # whose dirty data must reach the device like any other
+                    # LLC eviction's.
+                    wbs = self._wb_scratch
+                    del wbs[:]
+                    machine.hierarchy.demote_line(line, wbs)
+                    if wbs:
+                        self._emit_writebacks(wbs)
+                        del wbs[:]
                 # Demotion pushes the line to the point of unification:
                 # other cores can now pull it without a transfer.
                 machine.line_owner.pop(line, None)

@@ -21,7 +21,6 @@ internal write of the full granularity.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -123,8 +122,9 @@ class WriteCombiner:
     ) -> None:
         self.granularity = granularity
         self.capacity = entries
-        #: block number -> bytes merged so far (insertion ordered).
-        self._open: "OrderedDict[int, int]" = OrderedDict()
+        #: block number -> bytes merged so far.  A plain dict: insertion
+        #: order is the LRU order, refreshed by delete-and-reinsert.
+        self._open: dict = {}
         self.merges = 0
         self.closes = 0
         #: Optional hook fired with the block number of every entry that
@@ -143,6 +143,29 @@ class WriteCombiner:
 
     def add(self, addr: int, size: int) -> int:
         """Absorb a writeback; returns the number of entries closed."""
+        gran = self.granularity
+        if size > 0 and (addr + size - 1) // gran == addr // gran:
+            # Single-block arrival — every line-sized writeback, since
+            # lines divide the granularity.  Same bookkeeping as the
+            # general walk below, without the chunking loop.
+            block = addr // gran
+            open_ = self._open
+            if block in open_:
+                merged = open_[block] + size
+                del open_[block]  # re-insert to refresh LRU position
+                open_[block] = gran if merged > gran else merged
+                self.merges += 1
+                return 0
+            closed = 0
+            if len(open_) >= self.capacity:
+                evicted = next(iter(open_))
+                del open_[evicted]
+                self.closes += 1
+                if self.on_close is not None:
+                    self.on_close(evicted)
+                closed = 1
+            open_[block] = size
+            return closed
         closed = 0
         remaining = size
         offset = addr
@@ -155,12 +178,14 @@ class WriteCombiner:
                 # writebacks); the entry can never hold more than the
                 # block's granularity worth of distinct bytes, so clamp
                 # instead of accumulating unboundedly.
-                self._open[block] = min(self.granularity, self._open[block] + chunk)
-                self._open.move_to_end(block)
+                merged = min(self.granularity, self._open[block] + chunk)
+                del self._open[block]
+                self._open[block] = merged
                 self.merges += 1
             else:
                 if len(self._open) >= self.capacity:
-                    evicted, _ = self._open.popitem(last=False)
+                    evicted = next(iter(self._open))
+                    del self._open[evicted]
                     self._close_entry(evicted)
                     closed += 1
                 self._open[block] = chunk
@@ -199,6 +224,15 @@ class MemoryDevice:
         self.spec = spec
         self.stats = DeviceStats()
         self.combiner = WriteCombiner(spec.internal_granularity, spec.combiner_entries)
+        # Hot-path copies of the (frozen) spec fields: read/write_back
+        # run once per cold miss, and the attribute chains dominate
+        # otherwise (DESIGN.md §15).
+        self._bw = spec.bandwidth_bytes_per_cycle
+        self._read_bw = spec.read_bandwidth_bytes_per_cycle or spec.bandwidth_bytes_per_cycle
+        self._gran = spec.internal_granularity
+        self._read_latency = spec.read_latency
+        self._write_latency = spec.write_latency
+        self._combiner_entries = spec.combiner_entries
         #: The *bus* queue: every writeback's payload crosses the link to
         #: the device, merged or not — this is what makes cleaning a hot
         #: line expensive (Listing 3) even though the media dedupes it.
@@ -215,8 +249,9 @@ class MemoryDevice:
         self._read_return_next_free = 0.0
         #: Recently read media blocks: consecutive line fills within one
         #: internal-granularity block cost one media read, not four (the
-        #: device buffers the block it just read).
-        self._read_buffer: "OrderedDict[int, bool]" = OrderedDict()
+        #: device buffers the block it just read).  Plain dict in
+        #: insertion = LRU order, refreshed by delete-and-reinsert.
+        self._read_buffer: dict = {}
 
     # -- time/bandwidth helpers -------------------------------------------
 
@@ -265,32 +300,44 @@ class MemoryDevice:
         itself is idle (e.g. a merge-friendly writeback stream that
         closes no combiner entries).
         """
-        self.stats.reads += 1
-        self.stats.bytes_read += size
-        read_bw = self.spec.read_bandwidth_bytes_per_cycle or self.spec.bandwidth_bytes_per_cycle
-        gran = self.spec.internal_granularity
+        stats = self.stats
+        stats.reads += 1
+        stats.bytes_read += size
+        gran = self._gran
         media_bytes = 0
         first = addr // gran
-        last = (addr + max(size, 1) - 1) // gran
+        last = (addr + (size if size > 1 else 1) - 1) // gran
         # Line fills rarely straddle an internal-granularity block; walk
         # the single-block case without building a range object.
         blocks = (first,) if first == last else range(first, last + 1)
+        read_buffer = self._read_buffer
         for block in blocks:
-            if block in self._read_buffer:
-                self._read_buffer.move_to_end(block)
+            if block in read_buffer:
+                del read_buffer[block]  # re-insert to refresh LRU position
+                read_buffer[block] = True
                 continue
             media_bytes += gran
-            self._read_buffer[block] = True
-            if len(self._read_buffer) > self.spec.combiner_entries:
-                self._read_buffer.popitem(last=False)
-        occupancy = media_bytes / read_bw
-        start = max(now, self._media_next_free)
-        self._media_next_free = start + occupancy
+            read_buffer[block] = True
+            if len(read_buffer) > self._combiner_entries:
+                del read_buffer[next(iter(read_buffer))]
+        occupancy = media_bytes / self._read_bw
+        media = self._media_next_free
+        start = now if now >= media else media
         media_done = start + occupancy
+        self._media_next_free = media_done
         # The line fill is delivered over the same link writeback payloads
         # arrive on; it cannot start before the media produced the data.
-        bus_done = self._consume_bus(media_done, size, read_return=True)
-        return bus_done + self.spec.read_latency
+        # (Inline of _consume_bus(media_done, size, read_return=True).)
+        start = media_done
+        bus = self._bus_next_free
+        if bus > start:
+            start = bus
+        rr = self._read_return_next_free
+        if rr > start:
+            start = rr
+        bus_done = start + size / self._bw
+        self._read_return_next_free = bus_done
+        return bus_done + self._read_latency
 
     def write_back(self, addr: int, size: int, now: float) -> float:
         """A cache-line writeback arriving from the CPU.
@@ -300,18 +347,29 @@ class MemoryDevice:
         the bandwidth horizon.  Returns the time the writeback is durable
         on the medium (== enqueue time when it merely merged).
         """
-        self.stats.writebacks_received += 1
-        self.stats.bytes_received += size
-        bus_done = self._consume_bus(now, size)
+        stats = self.stats
+        stats.writebacks_received += 1
+        stats.bytes_received += size
+        bus = self._bus_next_free
+        start = now if now >= bus else bus
+        bus_done = start + size / self._bw
+        self._bus_next_free = bus_done
         closed = self.combiner.add(addr, size)
-        done = bus_done
+        if not closed:
+            return bus_done
+        gran = self._gran
+        stats.media_writes += closed
+        stats.media_bytes_written += gran * closed
+        # A closed entry's media write cannot start before the bus has
+        # delivered the payload that triggered the close; each write
+        # serialises on the media horizon, so the last one dominates.
+        step = gran / self._bw
+        media = self._media_next_free
         for _ in range(closed):
-            self.stats.media_writes += 1
-            self.stats.media_bytes_written += self.spec.internal_granularity
-            # A closed entry's media write cannot start before the bus
-            # has delivered the payload that triggered the close.
-            done = max(done, self._consume_media(bus_done, self.spec.internal_granularity))
-        return done + (self.spec.write_latency if closed else 0)
+            start = bus_done if bus_done >= media else media
+            media = start + step
+        self._media_next_free = media
+        return media + self._write_latency
 
     def flush(self, now: float) -> float:
         """Close every open combiner entry (end of run / ``wbinvd``)."""

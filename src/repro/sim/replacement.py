@@ -67,6 +67,19 @@ class ReplacementPolicy(ABC):
     def victim(self, state: Any) -> int:
         """The way index to evict from a full set."""
 
+    def evict_insert(self, state: Any) -> int:
+        """Pick a victim and register the replacement insert, fused.
+
+        Exactly equivalent to ``victim(state)`` followed by
+        ``on_insert(state, way)`` — including randomness draw order — in
+        one call.  The simulator's fused miss walk uses this to halve the
+        per-eviction policy call count; built-in policies override it
+        with fully inlined implementations.
+        """
+        way = self.victim(state)
+        self.on_insert(state, way)
+        return way
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__}>"
 
@@ -95,6 +108,11 @@ class TrueLRU(ReplacementPolicy):
     def victim(self, state: List[int]) -> int:
         return state[0]
 
+    def evict_insert(self, state: List[int]) -> int:
+        way = state.pop(0)  # victim = LRU; insert makes it MRU
+        state.append(way)
+        return way
+
 
 class FIFO(ReplacementPolicy):
     """First-in first-out: eviction order ignores hits entirely."""
@@ -114,6 +132,11 @@ class FIFO(ReplacementPolicy):
 
     def victim(self, state: List[int]) -> int:
         return state[0]
+
+    def evict_insert(self, state: List[int]) -> int:
+        way = state.pop(0)  # victim = oldest; insert re-queues it last
+        state.append(way)
+        return way
 
 
 class RandomReplacement(ReplacementPolicy):
@@ -135,6 +158,68 @@ class RandomReplacement(ReplacementPolicy):
 
     def victim(self, state: int) -> int:
         return self._rng.randrange(state)
+
+    def evict_insert(self, state: int) -> int:
+        return self._rng.randrange(state)  # on_insert is a no-op
+
+
+#: Memoised tree-PLRU lookup tables keyed by way count.  A PLRU *touch*
+#: writes fixed bits along a path determined only by the touched way —
+#: never by the current state — so it collapses to
+#: ``state & and_mask[way] | or_mask[way]`` on an integer-encoded tree
+#: (bit ``i`` of the state is tree node ``i``).  The victim walk *is*
+#: state-dependent, so it is tabulated over all ``2**(ways-1)`` states.
+#: Table-driven and walk-based forms compute the same function, so mixing
+#: them (e.g. a LUT-capable level next to a legacy one) cannot diverge.
+_PLRU_LUTS: dict = {}
+#: Beyond 16 ways the victim table (``2**(ways-1)`` entries) stops being
+#: worth materialising; callers fall back to the walking form.
+_PLRU_LUT_MAX_WAYS = 16
+
+
+def _plru_lut(ways: int):
+    """``(and_masks, or_masks, victim_table)`` for a ``ways``-way tree."""
+    lut = _PLRU_LUTS.get(ways)
+    if lut is not None:
+        return lut
+    nodes = ways - 1
+    full = (1 << nodes) - 1
+    and_masks: List[int] = []
+    or_masks: List[int] = []
+    for way in range(ways):
+        clear = 0
+        setv = 0
+        node = 0
+        lo, hi = 0, ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            bit = 1 << node
+            clear |= bit
+            if way < mid:
+                setv |= bit
+                node = 2 * node + 1
+                hi = mid
+            else:
+                node = 2 * node + 2
+                lo = mid
+        and_masks.append(full & ~clear)
+        or_masks.append(setv)
+    victim_table: List[int] = []
+    for state in range(1 << nodes):
+        node = 0
+        lo, hi = 0, ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if (state >> node) & 1:
+                node = 2 * node + 2
+                lo = mid
+            else:
+                node = 2 * node + 1
+                hi = mid
+        victim_table.append(lo)
+    lut = (and_masks, or_masks, victim_table)
+    _PLRU_LUTS[ways] = lut
+    return lut
 
 
 class TreePLRU(ReplacementPolicy):
@@ -190,6 +275,35 @@ class TreePLRU(ReplacementPolicy):
                 hi = mid
         return lo
 
+    def evict_insert(self, state: List[int]) -> int:
+        # victim walk and touch, fused (both loops inlined: this runs
+        # once per conflict miss in the simulator's fused paths).
+        ways = len(state) + 1
+        node = 0
+        lo, hi = 0, ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if state[node] == 1:
+                node = 2 * node + 2
+                lo = mid
+            else:
+                node = 2 * node + 1
+                hi = mid
+        way = lo
+        node = 0
+        lo, hi = 0, ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                state[node] = 1
+                node = 2 * node + 1
+                hi = mid
+            else:
+                state[node] = 0
+                node = 2 * node + 2
+                lo = mid
+        return way
+
 
 class IntelLikePolicy(ReplacementPolicy):
     """Tree-PLRU with a random-victim component, as on Intel cores.
@@ -207,21 +321,107 @@ class IntelLikePolicy(ReplacementPolicy):
         self.random_prob = random_prob
         self._plru = TreePLRU()
         self._rng = random.Random(seed)
+        # Bound RNG draw: victim runs once per conflict miss in the
+        # simulator's fused loops, so shave the attribute chains.  The
+        # uniform way pick is ``int(random() * ways)`` — one C-level draw
+        # instead of randrange's Python-level rejection loop; for the
+        # power-of-two way counts the tree supports the float has bits to
+        # spare, so the pick stays uniform.
+        self._rand = self._rng.random
 
     def new_set(self, ways: int) -> Any:
-        return (ways, self._plru.new_set(ways))
-
-    def on_insert(self, state: Any, way: int) -> None:
-        self._plru.on_insert(state[1], way)
+        # Validate via TreePLRU (power-of-two ways), then prefer the
+        # integer-encoded LUT state: the tree becomes one int, a touch
+        # becomes two table lookups and a mask op, and the victim walk a
+        # single indexed read.  Identical victims and identical RNG draw
+        # order to the walking form — only the representation changes.
+        bits = self._plru.new_set(ways)
+        if ways > _PLRU_LUT_MAX_WAYS:
+            return (ways, bits)
+        and_masks, or_masks, victim_table = _plru_lut(ways)
+        return [0, and_masks, or_masks, victim_table, ways]
 
     def on_access(self, state: Any, way: int) -> None:
-        self._plru.on_access(state[1], way)
+        # This is the hottest policy call in the simulator: every hit
+        # and every fill.
+        if type(state) is list:
+            state[0] = (state[0] & state[1][way]) | state[2][way]
+            return
+        # Legacy wide-set state: TreePLRU._touch on state[1], inlined.
+        bits = state[1]
+        node = 0
+        lo, hi = 0, len(bits) + 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                bits[node] = 1
+                node = 2 * node + 1
+                hi = mid
+            else:
+                bits[node] = 0
+                node = 2 * node + 2
+                lo = mid
+
+    on_insert = on_access
 
     def victim(self, state: Any) -> int:
+        if type(state) is list:
+            if self._rand() < self.random_prob:
+                return int(self._rand() * state[4])
+            return state[3][state[0]]
         ways, bits = state
-        if self._rng.random() < self.random_prob:
-            return self._rng.randrange(ways)
-        return self._plru.victim(bits)
+        if self._rand() < self.random_prob:
+            return int(self._rand() * ways)
+        # TreePLRU.victim on bits, inlined.
+        node = 0
+        lo, hi = 0, ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if bits[node] == 1:
+                node = 2 * node + 2
+                lo = mid
+            else:
+                node = 2 * node + 1
+                hi = mid
+        return lo
+
+    def evict_insert(self, state: Any) -> int:
+        if type(state) is list:
+            s = state[0]
+            if self._rand() < self.random_prob:
+                way = int(self._rand() * state[4])
+            else:
+                way = state[3][s]
+            state[0] = (s & state[1][way]) | state[2][way]
+            return way
+        ways, bits = state
+        if self._rand() < self.random_prob:
+            way = int(self._rand() * ways)
+        else:
+            node = 0
+            lo, hi = 0, ways
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if bits[node] == 1:
+                    node = 2 * node + 2
+                    lo = mid
+                else:
+                    node = 2 * node + 1
+                    hi = mid
+            way = lo
+        node = 0
+        lo, hi = 0, ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                bits[node] = 1
+                node = 2 * node + 1
+                hi = mid
+            else:
+                bits[node] = 0
+                node = 2 * node + 2
+                lo = mid
+        return way
 
 
 class ArmLikePolicy(ReplacementPolicy):
@@ -248,26 +448,54 @@ class ArmLikePolicy(ReplacementPolicy):
         self._lru = TrueLRU()
         self._fifo = FIFO()
         self._rng = random.Random(seed)
+        # Bound delegates + precomputed thresholds for the per-miss
+        # victim call; identical draw order through self._rng.
+        self._rand = self._rng.random
+        self._randrange = self._rng.randrange
+        self._lru_cut = self._weights[0]
+        self._fifo_cut = self._weights[0] + self._weights[1]
 
     def new_set(self, ways: int) -> Any:
         return (ways, self._lru.new_set(ways), self._fifo.new_set(ways))
 
     def on_insert(self, state: Any, way: int) -> None:
-        self._lru.on_insert(state[1], way)
-        self._fifo.on_insert(state[2], way)
+        lru_state = state[1]
+        lru_state.remove(way)
+        lru_state.append(way)
+        fifo_state = state[2]
+        fifo_state.remove(way)
+        fifo_state.append(way)
 
     def on_access(self, state: Any, way: int) -> None:
-        self._lru.on_access(state[1], way)
-        self._fifo.on_access(state[2], way)
+        # LRU recency moves on a hit; FIFO order does not.
+        lru_state = state[1]
+        lru_state.remove(way)
+        lru_state.append(way)
 
     def victim(self, state: Any) -> int:
-        ways, lru_state, fifo_state = state
-        draw = self._rng.random()
-        if draw < self._weights[0]:
-            return self._lru.victim(lru_state)
-        if draw < self._weights[0] + self._weights[1]:
-            return self._fifo.victim(fifo_state)
-        return self._rng.randrange(ways)
+        draw = self._rand()
+        if draw < self._lru_cut:
+            return state[1][0]
+        if draw < self._fifo_cut:
+            return state[2][0]
+        return self._randrange(state[0])
+
+    def evict_insert(self, state: Any) -> int:
+        draw = self._rand()
+        if draw < self._lru_cut:
+            way = state[1][0]
+        elif draw < self._fifo_cut:
+            way = state[2][0]
+        else:
+            way = self._randrange(state[0])
+        # on_insert inlined: LRU and FIFO orders both move the way last.
+        lru_state = state[1]
+        lru_state.remove(way)
+        lru_state.append(way)
+        fifo_state = state[2]
+        fifo_state.remove(way)
+        fifo_state.append(way)
+        return way
 
 
 _POLICIES = {

@@ -19,14 +19,19 @@ Two disciplines are modelled:
     fence/atomic, at a *demote* pre-store, or when the buffer overflows —
     so a fence right after a write eats the whole round trip, and an
     early demote overlaps it with subsequent work (Figure 4).
+
+Per-entry state is one value: the buffer is an insertion-ordered mapping
+``line -> visible_time`` where ``None`` marks a parked store (round trip
+not started).  Keeping the column flat — rather than an entry object per
+store — is what lets the fused store loop in :mod:`repro.sim.cpu` run a
+store in a handful of dict operations (DESIGN.md §15).
 """
 
 from __future__ import annotations
 
 import math
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -51,20 +56,13 @@ class StoreBufferStats:
     fence_stall_cycles: float = 0.0
 
 
-class _Pending:
-    """One buffered store (per cache line, coalesced)."""
-
-    __slots__ = ("line", "issue_time", "visible_time")
-
-    def __init__(self, line: int, issue_time: float) -> None:
-        self.line = line
-        self.issue_time = issue_time
-        #: None while parked; else the absolute cycle it becomes visible.
-        self.visible_time: Optional[float] = None
-
-
 class StoreBuffer:
-    """Bounded per-core buffer of not-yet-globally-visible stores."""
+    """Bounded per-core buffer of not-yet-globally-visible stores.
+
+    ``_pending`` maps line -> visibility horizon (absolute cycle, or
+    ``None`` while parked), in insertion order; one buffered store per
+    cache line (stores coalesce).
+    """
 
     def __init__(self, model: str, capacity: int = 56) -> None:
         if model not in MEMORY_MODELS:
@@ -73,7 +71,9 @@ class StoreBuffer:
             raise ConfigurationError(f"store buffer capacity must be positive, got {capacity}")
         self.model = model
         self.capacity = capacity
-        self._pending: "OrderedDict[int, _Pending]" = OrderedDict()
+        #: Plain dict in insertion = FIFO order; coalescing hits refresh
+        #: position by delete-and-reinsert.
+        self._pending: "dict[int, Optional[float]]" = {}
         #: Visibility pipeline horizon: round trips retire in order.
         self._pipeline_tail = 0.0
         self.stats = StoreBufferStats()
@@ -100,27 +100,26 @@ class StoreBuffer:
         is the introspection hook the memory-consistency sanitizer uses
         to flag reads of another core's still-invisible store.
         """
-        entry = self._pending.get(line)
-        if entry is None:
+        if line not in self._pending:
             return None
-        if entry.visible_time is None:
+        visible = self._pending[line]
+        if visible is None:
             return math.inf
-        return entry.visible_time
+        return visible
 
     def parked_lines(self) -> List[int]:
         """Lines whose buffered store has not started its round trip."""
-        return [e.line for e in self._pending.values() if e.visible_time is None]
+        return [line for line, visible in self._pending.items() if visible is None]
 
-    def peek_oldest(self) -> Optional[_Pending]:
-        """The front (oldest) entry, or None when empty.
+    def peek_oldest(self) -> Optional[Tuple[int, Optional[float]]]:
+        """The front (oldest) ``(line, visible_time)``, or None when empty.
 
         Slots free in FIFO order, so this is the entry an overflow will
-        force visible next — the CPU's fused store loop uses it to stall
-        inline instead of re-entering :meth:`write`.
+        force visible next.
         """
         if not self._pending:
             return None
-        return next(iter(self._pending.values()))
+        return next(iter(self._pending.items()))
 
     # -- the write path ------------------------------------------------------
 
@@ -133,24 +132,25 @@ class StoreBuffer:
         """
         self.stats.stores_buffered += 1
         self._prune(now)
-        existing = self._pending.get(line)
-        if existing is not None:
+        pending = self._pending
+        if line in pending:
             self.stats.coalesced += 1
-            self._pending.move_to_end(line)
+            visible = pending[line]
+            del pending[line]  # re-insert to refresh FIFO position
+            pending[line] = visible
             return 0.0
         stall = 0.0
-        if len(self._pending) >= self.capacity:
-            oldest = next(iter(self._pending.values()))
-            self._start_visibility(oldest, now, visibility)
-            assert oldest.visible_time is not None
-            stall = max(0.0, oldest.visible_time - now)
-            del self._pending[oldest.line]
+        if len(pending) >= self.capacity:
+            oldest_line, oldest_visible = next(iter(pending.items()))
+            if oldest_visible is None:
+                oldest_visible = self._start_visibility(oldest_line, now, visibility)
+            stall = max(0.0, oldest_visible - now)
+            del pending[oldest_line]
             self.stats.overflow_drains += 1
-        entry = _Pending(line, now + stall)
-        self._pending[line] = entry
+        pending[line] = None
         if self.model == "tso":
             # TSO: the round trip starts immediately, pipelined in order.
-            self._start_visibility(entry, now + stall, visibility)
+            self._start_visibility(line, now + stall, visibility)
         return stall
 
     def _prune(self, now: float) -> None:
@@ -160,20 +160,28 @@ class StoreBuffer:
         visible; without pruning, a fence-free TSO program would pin its
         first ``capacity`` lines in the buffer forever.
         """
-        while self._pending:
-            oldest = next(iter(self._pending.values()))
-            if oldest.visible_time is None or oldest.visible_time > now:
+        pending = self._pending
+        while pending:
+            line, visible = next(iter(pending.items()))
+            if visible is None or visible > now:
                 break
-            del self._pending[oldest.line]
+            del pending[line]
 
-    def _start_visibility(self, entry: _Pending, now: float, visibility: VisibilityFn) -> None:
-        if entry.visible_time is not None:
-            return
-        latency = visibility(entry.line)
+    def _start_visibility(self, line: int, now: float, visibility: VisibilityFn) -> float:
+        """Start (or look up) the round trip of a buffered store.
+
+        Returns the absolute cycle the store becomes visible.
+        """
+        visible = self._pending[line]
+        if visible is not None:
+            return visible
+        latency = visibility(line)
         # Round trips pipeline but retire in program order: a store may
         # not become visible before its predecessors.
-        entry.visible_time = max(now + latency, self._pipeline_tail)
-        self._pipeline_tail = entry.visible_time
+        visible = max(now + latency, self._pipeline_tail)
+        self._pending[line] = visible
+        self._pipeline_tail = visible
+        return visible
 
     # -- pre-store and fence paths -------------------------------------------
 
@@ -184,19 +192,18 @@ class StoreBuffer:
         is pushed towards a globally visible cache level in the
         background.  Returns True if a parked store was found.
         """
-        entry = self._pending.get(line)
-        if entry is None or entry.visible_time is not None:
+        if line not in self._pending or self._pending[line] is not None:
             return False
-        self._start_visibility(entry, now, visibility)
+        self._start_visibility(line, now, visibility)
         self.stats.demotes_started += 1
         return True
 
     def demote_all(self, now: float, visibility: VisibilityFn) -> int:
         """Demote every parked store; returns how many started."""
         started = 0
-        for entry in self._pending.values():
-            if entry.visible_time is None:
-                self._start_visibility(entry, now, visibility)
+        for line, visible in self._pending.items():
+            if visible is None:
+                self._start_visibility(line, now, visibility)
                 self.stats.demotes_started += 1
                 started += 1
         return started
@@ -209,11 +216,10 @@ class StoreBuffer:
         """
         self.stats.fence_drains += 1
         done = float(now)
-        for entry in self._pending.values():
-            if entry.visible_time is None:
-                self._start_visibility(entry, now, visibility)
-            assert entry.visible_time is not None
-            done = max(done, entry.visible_time)
+        for line, visible in self._pending.items():
+            if visible is None:
+                visible = self._start_visibility(line, now, visibility)
+            done = max(done, visible)
         self._pending.clear()
         self.stats.fence_stall_cycles += done - now
         return done

@@ -146,6 +146,47 @@ class TestGates:
         (trend,) = [t for t in report.trends if t.metric == "workers"]
         assert trend.direction is None and trend.verdict == "ok"
 
+    def test_gated_metric_going_nan_regresses_explicitly(self, tmp_path):
+        # Regression: a NaN speedup used to vanish from the flattened
+        # entry and with it from the comparison — the gate passed while
+        # the benchmark was reporting garbage.
+        history = tmp_path / "hist.jsonl"
+        _seed(history, t=1.0)
+        broken = dict(RUNNER_DOC, parallel_speedup=float("nan"))
+        _seed(history, doc=broken, fingerprint="fp-bbb", t=2.0)
+        report = check_history(history)
+        assert not report.ok
+        (trend,) = report.regressions
+        assert trend.metric == "parallel_speedup"
+        assert trend.vanished
+        assert trend.latest == 2.0  # last numeric value, not NaN
+        assert "went non-finite" in trend.describe()
+
+    def test_ungated_metric_going_nan_is_not_fatal(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        _seed(history, t=1.0)
+        shifted = dict(RUNNER_DOC, workers=float("nan"))
+        _seed(history, doc=shifted, fingerprint="fp-bbb", t=2.0)
+        report = check_history(history)
+        assert report.ok
+        assert not any(t.metric == "workers" and t.vanished for t in report.trends)
+
+    def test_nan_points_in_history_render_and_gate_safely(self, tmp_path):
+        # Hand-written or legacy histories can carry NaN points; the
+        # comparator must neither crash nor report "ok" for them.
+        history = tmp_path / "hist.jsonl"
+        _seed(history, t=1.0)
+        entry = json.loads(json.dumps(_seed(history, fingerprint="fp-bbb", t=2.0)))
+        entry["metrics"]["parallel_speedup"] = float("nan")
+        entry["fingerprint"] = "fp-ccc"
+        with history.open("a") as fh:
+            fh.write(json.dumps(entry) + "\n")
+        report = check_history(history)
+        (trend,) = [t for t in report.trends if t.metric == "parallel_speedup"]
+        assert trend.verdict == "regressed"
+        assert "?" in trend.sparkline()
+        trend.describe()  # must not raise
+
 
 class TestReport:
     def test_render_names_both_fingerprints(self, tmp_path):

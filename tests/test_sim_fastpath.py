@@ -68,6 +68,24 @@ class TestBitIdentity:
         fast = make_workload().run(preset(), streams=True).run.to_json()
         assert fast == reference
 
+    @pytest.mark.parametrize("preset", PRESETS, ids=lambda p: p.__name__)
+    @pytest.mark.parametrize(
+        "bench", ["seq_write_cold", "rand_write_cold", "rand_read_cold", "mixed_cold"]
+    )
+    def test_cold_benchmarks_identical(self, preset, bench):
+        # The fused miss path's own acceptance matrix: cold sequential,
+        # page-shuffled random, and alternating read/write streams over a
+        # larger-than-cache buffer, on every preset (hashed LLC indexing,
+        # weak ordering, every device flavour).  Small sizes — the full
+        # sizes run in repro.sim.bench, which performs this same check.
+        from repro.sim.bench import BENCHMARKS, _run_once
+
+        body = BENCHMARKS[bench][0]
+        sizes = (32 * 1024, 1)
+        reference, _ = _run_once(preset(), body, sizes, streams=False)
+        fast, _ = _run_once(preset(), body, sizes, streams=True)
+        assert fast.to_json() == reference.to_json()
+
 
 # -- property: random access programs ---------------------------------------
 
@@ -164,6 +182,54 @@ def test_batch_observer_gets_stream_records():
     assert stream_records, "batch-aware observer should receive stream records"
     # One record per run, covering the whole byte range.
     assert stream_records[0][3] == 8 * 64
+
+
+# -- fault plans x fast path --------------------------------------------------
+
+
+class TestFaultPlansOnFastPath:
+    """Fault injection and the batched vocabulary must compose safely.
+
+    The injector registers with ``accepts_streams = False``, so any
+    non-empty plan forces per-access unrolling: the fused store loops
+    never run under faults, and crash points land on the same
+    instruction whichever vocabulary the caller requested.
+    """
+
+    def test_empty_plan_is_identity_on_fast_path(self):
+        from repro.faults import FaultPlan, run_with_faults
+        from repro.faults.workloads import LogAppendWorkload
+
+        spec = machine_a()
+        plain = (
+            LogAppendWorkload(record_size=256, records=24)
+            .run(spec, streams=False)
+            .run.to_json()
+        )
+        report = run_with_faults(
+            LogAppendWorkload(record_size=256, records=24), spec, FaultPlan(), streams=True
+        )
+        assert report.result.to_json() == plain
+        assert report.image is None and not report.crashed
+
+    def test_crash_plan_pins_store_versions_regardless_of_stream_request(self):
+        from repro.faults import CrashPoint, FaultPlan, run_with_faults
+        from repro.faults.workloads import KVPersistWorkload
+
+        plan = FaultPlan(crash=CrashPoint(at_instruction=120))
+        reports = {
+            streams: run_with_faults(
+                KVPersistWorkload(operations=48), machine_a(), plan, seed=9, streams=streams
+            )
+            for streams in (False, True)
+        }
+        assert reports[True].crashed and reports[False].crashed
+        # Versioned durability accounting is per-access; the forced
+        # unrolling keeps every line's written/accepted/media version —
+        # and hence the whole report — independent of the request.
+        assert reports[True].image.line_versions == reports[False].image.line_versions
+        assert reports[True].image.digest() == reports[False].image.digest()
+        assert reports[True].to_json() == reports[False].to_json()
 
 
 # -- stream event semantics ---------------------------------------------------

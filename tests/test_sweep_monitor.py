@@ -138,6 +138,29 @@ class TestAggregation:
         assert snap["sweep_cells_per_sec"] is None
         assert snap["sweep_cache_hit_rate"] is None
 
+    def test_instant_sweep_renders_dashes_not_inf(self):
+        # Regression: a sweep that is 100% cache hits completes with
+        # elapsed ~ 0 while done > 0.  cells/s and ETA have no data —
+        # they must come out NaN (never inf) and the --watch dashboard
+        # must render them as dashes without raising.
+        clock = _FakeClock()  # never advanced: elapsed stays 0.0
+        monitor = SweepMonitor(clock=clock)
+        monitor.emit(SweepEvent(kind="sweep_begin", total=3))
+        _terminal(monitor, 0, wall_s=0.0, status="cached")
+        _terminal(monitor, 1, wall_s=0.0, status="cached")
+        assert monitor.done == 2 and monitor.elapsed_s == 0.0
+        assert math.isnan(monitor.cells_per_sec)
+        assert math.isnan(monitor.eta_s)  # 1 remaining, no throughput data
+        assert monitor.cache_hit_rate == 1.0
+        text = monitor.render_dashboard()
+        assert "inf" not in text.replace("inflight", "")
+        assert "cells/s -" in text
+        assert "ETA -" in text
+        # ...and the machine-readable exports stay parseable (§10).
+        snap = monitor.snapshot()
+        assert snap["sweep_cells_per_sec"] is None
+        json.dumps(snap, allow_nan=False)
+
     def test_dashboard_mentions_fleet_numbers(self):
         clock = _FakeClock()
         monitor = SweepMonitor(clock=clock)
