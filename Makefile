@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint sanitize obs-demo bench bench-sim bench-check faults crashcheck
+.PHONY: test lint sanitize obs-demo bench bench-sim bench-check sweep-smoke faults crashcheck
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,14 +15,15 @@ lint:
 sanitize:
 	$(PYTHON) -m repro.sanitize examples/quickstart.py
 
-# Runner benchmark: serial vs parallel, cold vs warm cache, with a
-# byte-identity check between the serial and pooled results.  Writes
-# BENCH_runner.json (uploaded as a CI artifact by the bench-smoke job)
-# plus the SweepMonitor JSONL progress stream, and appends the run to
-# the BENCH_history.jsonl trajectory (DESIGN.md §14).
+# Runner benchmark: serial vs parallel (cold pool / warm pool), cold vs
+# warm cache, on a 64-cell grid, plus a 2/4/8-worker scaling curve —
+# with a byte-identity check between the serial and every pooled run.
+# Writes BENCH_runner.json (uploaded as a CI artifact by the bench-smoke
+# job) plus the SweepMonitor JSONL progress stream, and appends the run
+# to the BENCH_history.jsonl trajectory (DESIGN.md §14).
 bench:
 	mkdir -p build
-	$(PYTHON) -m repro.runner bench --workers 4 \
+	$(PYTHON) -m repro.runner bench --workers 4 --cells 64 --workers-sweep 2,4,8 \
 		--cache-dir build/runner-cache --out BENCH_runner.json \
 		--monitor-jsonl build/sweep-monitor.jsonl
 	$(PYTHON) -m repro.obs.regress append --bench runner BENCH_runner.json
@@ -45,7 +46,7 @@ bench-sim:
 # regressed metric and both code fingerprints) on regression.
 bench-check:
 	mkdir -p build
-	$(PYTHON) -m repro.runner bench --workers 4 \
+	$(PYTHON) -m repro.runner bench --workers 4 --cells 64 --workers-sweep 2,4,8 \
 		--cache-dir build/runner-cache --out BENCH_runner.json \
 		--monitor-jsonl build/sweep-monitor.jsonl --no-sim
 	$(PYTHON) -m repro.sim.bench --quick \
@@ -53,6 +54,23 @@ bench-check:
 	$(PYTHON) -m repro.obs.regress append --bench runner BENCH_runner.json
 	$(PYTHON) -m repro.obs.regress append --bench sim BENCH_sim.json
 	$(PYTHON) -m repro.obs.regress check
+
+# Sweep-scale smoke: run a 64-cell grid chunked at workers=2, stop it
+# on purpose after 24 cells (exit 75 = resumable), then resume from the
+# outcome journal and finish — the kill-and-resume path CI exercises.
+# Artifacts: the journal plus the SweepMonitor JSONL progress stream.
+sweep-smoke:
+	mkdir -p build
+	rm -f build/sweep-journal.jsonl build/sweep-smoke.jsonl
+	$(PYTHON) -m repro.runner sweep --cells 64 --workers 2 --chunk-size 4 \
+		--journal build/sweep-journal.jsonl --stop-after 24 \
+		--monitor-jsonl build/sweep-smoke.jsonl; \
+		status=$$?; \
+		if [ $$status -ne 75 ]; then \
+			echo "expected resumable exit 75, got $$status"; exit 1; fi
+	$(PYTHON) -m repro.runner sweep --cells 64 --workers 2 --chunk-size 4 \
+		--journal build/sweep-journal.jsonl \
+		--monitor-jsonl build/sweep-smoke.jsonl
 
 # Crash-consistency self-check: seeded crash/fault matrix on machine A
 # and B-slow, asserting protocol durability, baseline vulnerability,

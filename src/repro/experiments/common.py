@@ -53,6 +53,7 @@ def run_variants(
     progress: Optional[Callable[[str], None]] = None,
     workers: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
+    chunk_size: Optional[int] = None,
 ) -> Dict[PrestoreMode, RunResult]:
     """Run one workload configuration under several pre-store modes.
 
@@ -88,6 +89,11 @@ def run_variants(
     # CellExecutionError (with all other outcomes attached) rather than
     # silently feeding a None result into the figures.
     outcomes = execute_cells(
-        cells, workers=workers, cache=cache_dir, progress=progress, on_error="raise"
+        cells,
+        workers=workers,
+        cache=cache_dir,
+        chunk_size=chunk_size,
+        progress=progress,
+        on_error="raise",
     )
     return {mode: outcome.result for mode, outcome in zip(modes, outcomes)}

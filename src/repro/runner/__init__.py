@@ -20,13 +20,22 @@ contract.
 
 from repro.errors import CellExecutionError, RunnerError
 from repro.runner.cache import ResultCache
-from repro.runner.cells import Cell, CellRun, cache_key, code_fingerprint, describe_factory, run_cell
+from repro.runner.cells import (
+    Cell,
+    CellRun,
+    cache_key,
+    code_fingerprint,
+    describe_factory,
+    run_cell,
+)
+from repro.runner.grid import Grid, load_journal, run_grid
 from repro.runner.monitor import SweepEvent, SweepMonitor, replay_outcomes
 from repro.runner.pool import (
     CellOutcome,
     RunnerSession,
     active_session,
     execute_cells,
+    retry_delay,
     runner_session,
 )
 
@@ -35,6 +44,7 @@ __all__ = [
     "CellRun",
     "CellExecutionError",
     "CellOutcome",
+    "Grid",
     "ResultCache",
     "RunnerError",
     "RunnerSession",
@@ -45,7 +55,10 @@ __all__ = [
     "code_fingerprint",
     "describe_factory",
     "execute_cells",
+    "load_journal",
     "replay_outcomes",
+    "retry_delay",
     "run_cell",
+    "run_grid",
     "runner_session",
 ]

@@ -1,22 +1,30 @@
-"""Benchmark harness: serial vs. parallel, cold vs. warm cache.
+"""Benchmark harness: serial vs. parallel, cold vs. warm, scaling curve.
 
 ``python -m repro.runner bench`` (or ``make bench``) times the same
-cell set three ways —
+cell set four ways —
 
 1. **serial cold** — one process, no cache (the pre-runner baseline);
-2. **parallel cold** — the worker pool, filling an empty cache;
-3. **parallel warm** — the same sweep again, expecting 100% cache hits
+2. **parallel cold** — a fresh worker pool, filling an empty cache
+   (pays pool spawn + warmup once);
+3. **parallel cold, warm pool** — the cache cleared but the *same*
+   session pool reused, isolating what persistent warm workers and
+   chunked dispatch save over respawning per sweep;
+4. **parallel warm** — the same sweep again, expecting 100% cache hits
 
-— checks the parallel results are byte-identical to the serial ones,
-and writes the measurements to ``BENCH_runner.json``.  On a single-core
-container the speedup hovers around (or below) 1.0; the number that
-must always hold is the warm run's zero simulations.
+— checks every parallel phase is byte-identical to the serial one, and
+writes the measurements to ``BENCH_runner.json``.  ``--workers-sweep``
+additionally records a scaling curve (cold + warm wall time per worker
+count), and ``--cells`` grows the grid beyond the default 8 cells so
+pool overheads stop dominating.  On a single-core container the
+speedups hover around 1.0; the numbers that must always hold are the
+determinism booleans and the warm run's zero simulations.
 """
 
 from __future__ import annotations
 
 import functools
 import json
+import math
 import os
 import time
 from pathlib import Path
@@ -25,31 +33,47 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.core.prestore import PrestoreMode
 from repro.runner.cache import ResultCache
 from repro.runner.cells import Cell, code_fingerprint
-from repro.runner.monitor import outcome_to_dict
-from repro.runner.pool import EventBus, execute_cells
+from repro.runner.grid import Grid
+from repro.runner.monitor import SweepMonitor, outcome_to_dict
+from repro.runner.pool import EventBus, execute_cells, runner_session
 from repro.sim.machine import machine_a
 
-__all__ = ["bench_cells", "run_bench"]
+__all__ = ["bench_cells", "bench_grid", "run_bench"]
 
 
-def bench_cells(full: bool = False) -> List[Cell]:
-    """A reduced fig9-style sweep: NAS kernels x (baseline, clean)."""
+def bench_grid(full: bool = False, count: Optional[int] = None) -> Grid:
+    """The bench's declarative grid: NAS kernels × modes × seeds.
+
+    ``count`` scales the sweep by adding seeds (8 cells per seed); the
+    expansion is row-major and deterministic, so the same ``count``
+    always names the same cells.
+    """
     from repro.workloads.nas import FTWorkload, MGWorkload, SPWorkload, UAWorkload
 
     kernels = (MGWorkload, FTWorkload, SPWorkload, UAWorkload)
     grid = 24 if full else 16
     iterations = 2 if full else 1
-    spec = machine_a()
-    return [
-        Cell(
-            make_workload=functools.partial(cls, grid=grid, iterations=iterations, threads=4),
-            spec=spec,
-            mode=mode,
-            seed=1234,
-        )
-        for cls in kernels
-        for mode in (PrestoreMode.NONE, PrestoreMode.CLEAN)
-    ]
+    per_seed = len(kernels) * 2
+    seeds = 1 if count is None else max(1, math.ceil(count / per_seed))
+    return Grid(
+        factories=[
+            functools.partial(cls, grid=grid, iterations=iterations, threads=4)
+            for cls in kernels
+        ],
+        machines=[machine_a()],
+        modes=(PrestoreMode.NONE, PrestoreMode.CLEAN),
+        seeds=range(1234, 1234 + seeds),
+    )
+
+
+def bench_cells(full: bool = False, count: Optional[int] = None) -> List[Cell]:
+    """A reduced fig9-style sweep: NAS kernels x (baseline, clean).
+
+    With ``count``, the grid grows seed-wise to at least that many
+    cells and is truncated to exactly ``count``.
+    """
+    cells = bench_grid(full=full, count=count).cells()
+    return cells if count is None else cells[:count]
 
 
 def _timed(cells: Sequence[Cell], **kwargs) -> Dict[str, object]:
@@ -63,6 +87,11 @@ def _timed(cells: Sequence[Cell], **kwargs) -> Dict[str, object]:
         "workers_seen": sorted({o.worker for o in outcomes}),
         "outcomes": outcomes,
     }
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    """NaN, not inf, when the denominator measured no time (§9)."""
+    return numerator / denominator if denominator > 0 else float("nan")
 
 
 def _sim_summary() -> Dict[str, object]:
@@ -93,38 +122,54 @@ def run_bench(
     out: Union[str, Path] = "BENCH_runner.json",
     full: bool = False,
     cells: Optional[List[Cell]] = None,
+    cells_count: Optional[int] = None,
+    workers_sweep: Optional[Sequence[int]] = None,
+    chunk_size: Optional[int] = None,
     sim: bool = True,
     events: EventBus = None,
     outcomes_out: Union[str, Path, None] = None,
 ) -> Dict[str, object]:
-    """Run the three-way comparison and write ``out``; returns the doc.
+    """Run the comparison phases and write ``out``; returns the doc.
 
-    ``events`` (e.g. a :class:`~repro.runner.monitor.SweepMonitor`)
-    observes all three sweeps through the pool's event-bus seam;
+    ``cells_count`` sizes the grid (None keeps the historical 8-cell
+    sweep); ``workers_sweep`` appends a cold+warm scaling curve, one
+    entry per worker count, each measured with its own fresh-then-warm
+    cache.  ``events`` (e.g. a :class:`~repro.runner.monitor.SweepMonitor`)
+    observes every sweep through the pool's event-bus seam;
     ``outcomes_out`` archives each phase's per-cell
     :class:`~repro.runner.pool.CellOutcome` list as JSON, so monitor
     aggregates can be replayed from a finished bench
     (:func:`~repro.runner.monitor.replay_outcomes`).
     """
-    cells = cells if cells is not None else bench_cells(full=full)
+    cells = cells if cells is not None else bench_cells(full=full, count=cells_count)
     cache = ResultCache(cache_dir)
     cache.root.mkdir(parents=True, exist_ok=True)
     cache.clear()  # cold means cold
 
+    # Fold cache hit/miss/evict counters into an attached monitor's
+    # registry (the dashboard and the JSONL summary lines pick them up).
+    monitor = getattr(events, "monitor", events)
+    if isinstance(monitor, SweepMonitor):
+        monitor.cache = cache
+
     serial = _timed(cells, workers=1, cache=None, events=events)
-    parallel_cold = _timed(cells, workers=workers, cache=cache, events=events)
-    parallel_warm = _timed(cells, workers=workers, cache=cache, events=events)
+    with runner_session(workers=workers, chunk_size=chunk_size):
+        # Phase 2 pays pool spawn + worker warmup; phase 3 reuses the
+        # session's live pool against a re-cleared cache, so the delta
+        # is exactly the persistent-warm-worker saving.
+        parallel_cold = _timed(cells, workers=workers, cache=cache, events=events)
+        warm_entries = len(cache)
+        cache.clear()
+        parallel_cold_warm_pool = _timed(cells, workers=workers, cache=cache, events=events)
+        parallel_warm = _timed(cells, workers=workers, cache=cache, events=events)
 
-    deterministic = serial["jsons"] == parallel_cold["jsons"]
-    warm_all_cached = parallel_warm["cached"] == len(cells)
-    # NaN, not inf, when the parallel phase measured no time: the ratio
-    # has no data (DESIGN.md §9), and inf would read as an infinitely
-    # good speedup in the regression gate.
-    speedup = (
-        serial["wall_s"] / parallel_cold["wall_s"] if parallel_cold["wall_s"] > 0 else float("nan")
+    deterministic = (
+        serial["jsons"] == parallel_cold["jsons"] == parallel_cold_warm_pool["jsons"]
+        and serial["jsons"] == parallel_warm["jsons"]
     )
+    warm_all_cached = parallel_warm["cached"] == len(cells)
 
-    doc = {
+    doc: Dict[str, object] = {
         "bench": "repro.runner",
         "cells": len(cells),
         "workers": workers,
@@ -132,12 +177,52 @@ def run_bench(
         "code_fingerprint": code_fingerprint(),
         "serial_cold_s": round(serial["wall_s"], 4),
         "parallel_cold_s": round(parallel_cold["wall_s"], 4),
+        "parallel_cold_warm_pool_s": round(parallel_cold_warm_pool["wall_s"], 4),
         "parallel_warm_s": round(parallel_warm["wall_s"], 4),
-        "parallel_speedup": round(speedup, 3),
+        "parallel_speedup": round(_ratio(serial["wall_s"], parallel_cold["wall_s"]), 3),
+        "warm_pool_speedup": round(
+            _ratio(serial["wall_s"], parallel_cold_warm_pool["wall_s"]), 3
+        ),
+        "warm_worker_gain": round(
+            _ratio(parallel_cold["wall_s"], parallel_cold_warm_pool["wall_s"]), 3
+        ),
         "warm_cache_hits": parallel_warm["cached"],
         "warm_all_cached": warm_all_cached,
         "deterministic": deterministic,
-        "cache_entries": len(cache),
+        "cache_entries": warm_entries,
+    }
+
+    if workers_sweep:
+        scaling: Dict[str, object] = {}
+        for w in workers_sweep:
+            w = max(1, int(w))
+            cache.clear()
+            with runner_session(workers=w, chunk_size=chunk_size):
+                cold = _timed(cells, workers=w, cache=cache, events=events)
+                warm = _timed(cells, workers=w, cache=cache, events=events)
+            deterministic = (
+                deterministic
+                and cold["jsons"] == serial["jsons"]
+                and warm["jsons"] == serial["jsons"]
+            )
+            scaling[f"w{w}"] = {
+                "workers": w,
+                "cold_s": round(cold["wall_s"], 4),
+                # Milliseconds, and deliberately not named *_s: an
+                # all-cached replay is a few ms, far inside the regress
+                # gate's noise floor, so it tracks as trend-only.
+                "warm_ms": round(warm["wall_s"] * 1000, 2),
+                "cold_speedup": round(_ratio(serial["wall_s"], cold["wall_s"]), 3),
+                "warm_all_cached": warm["cached"] == len(cells),
+            }
+        doc["scaling"] = scaling
+        doc["deterministic"] = deterministic
+        doc["warm_all_cached"] = warm_all_cached and all(
+            entry["warm_all_cached"] for entry in scaling.values()  # type: ignore[index]
+        )
+
+    doc["cache_stats"] = {
+        k: v for k, v in cache.stats().items() if k in ("hits", "misses", "evictions", "stores")
     }
     if sim:
         doc["sim"] = _sim_summary()
@@ -150,6 +235,7 @@ def run_bench(
                 for phase, timing in (
                     ("serial_cold", serial),
                     ("parallel_cold", parallel_cold),
+                    ("parallel_cold_warm_pool", parallel_cold_warm_pool),
                     ("parallel_warm", parallel_warm),
                 )
             },

@@ -42,6 +42,7 @@ from repro.obs.log import get_logger
 from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.cache import ResultCache
     from repro.runner.pool import CellOutcome
 
 __all__ = ["SweepEvent", "SweepMonitor", "replay_outcomes", "EVENT_KINDS"]
@@ -108,12 +109,16 @@ class SweepMonitor:
         self,
         progress_path: Union[str, Path, None] = None,
         clock: Callable[[], float] = time.monotonic,
+        cache: Optional["ResultCache"] = None,
     ) -> None:
         self.clock = clock
         self.progress_path = Path(progress_path) if progress_path is not None else None
         self._fh: Optional[IO[str]] = None
         self.sweep_seq = 0
         self.events_seen = 0
+        #: Optional ResultCache whose hit/miss/evict counters are folded
+        #: into every published snapshot (set by the bench/CLI harness).
+        self.cache = cache
         self._reset_sweep(total=0)
 
     # -- per-sweep state -----------------------------------------------------
@@ -278,6 +283,8 @@ class SweepMonitor:
                 f"sim.events_per_sec.{kind}",
                 help="simulated events of this vocabulary kind per host second",
             ).set(rate)
+        if self.cache is not None:
+            self.cache.publish_metrics(reg)
 
     def snapshot(self) -> Dict[str, object]:
         """The exported (sanitised, NaN→null) fleet metrics view."""
@@ -363,6 +370,12 @@ class SweepMonitor:
                 lines.append(
                     f"    {worker:>10s}  {int(cells):4d}  {busy:7.2f}s  {fmt(util)}"
                 )
+        if self.cache is not None:
+            cs = self.cache.stats()
+            lines.append(
+                f"  cache: {cs['entries']} entries  {cs['bytes']:,}B  "
+                f"hits {cs['hits']}  misses {cs['misses']}  evictions {cs['evictions']}"
+            )
         rates = self.sim_event_rates()
         if not all(math.isnan(r) for r in rates.values()):
             path = "fast" if self.registry.gauge("sim.fast_path").value == 1.0 else "reference"

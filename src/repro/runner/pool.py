@@ -8,6 +8,21 @@ outcomes in cell order.  Because every cell constructs its workload
 and machine fresh inside :func:`~repro.runner.cells.run_cell`, the
 serialised results are bit-identical however the cells were scheduled.
 
+Throughput comes from two mechanisms (DESIGN.md §16):
+
+* **persistent warm workers** — pools start with
+  :func:`_pool_initializer`, which pre-imports the simulator stack and
+  primes per-preset construction caches (PLRU LUTs, module imports), and
+  a :func:`runner_session` keeps one pool alive across every
+  ``execute_cells`` call in the block, so spawn + import cost is paid
+  once per session, not once per sweep;
+* **chunked dispatch** — cells are submitted in size-adaptive chunks
+  (:func:`_auto_chunk_size`), amortising pickle/future/IPC overhead;
+  the worker runs each cell of a chunk independently and reports
+  per-cell results, so one failing cell never takes its chunk-mates'
+  results down — it is isolated and re-run solo through the normal
+  retry path, and per-cell SweepEvents are unchanged.
+
 A sweep is never lost to one bad cell.  Every cell produces a
 :class:`CellOutcome` whose ``status`` says how it ended:
 
@@ -18,7 +33,8 @@ A sweep is never lost to one bad cell.  Every cell produces a
     repeatedly took the worker process down with it.
 ``"timeout"``
     The cell exceeded ``timeout_s``; its worker is abandoned, the rest
-    of the sweep continues.  Timeouts are not retried.
+    of the sweep continues.  Timeouts are not retried.  (A timeout
+    budget forces chunks of one cell, so the deadline stays per-cell.)
 
 A worker process dying (``BrokenProcessPool``) kills every in-flight
 future, so the driver rebuilds the pool — up to :data:`MAX_POOL_RESTARTS`
@@ -29,15 +45,21 @@ and once restarts are exhausted whatever remains runs inline.  With
 and the AutoTuner use) any non-ok outcome raises
 :class:`~repro.errors.CellExecutionError` carrying the full outcome list.
 
-:func:`runner_session` sets ambient worker-count/cache/retry defaults so
-callers several layers up (the experiment CLI) can parallelise every
-``run_variants`` underneath without threading arguments through each
-experiment's ``run`` method.
+Retry backoff is exponential with **deterministic jitter** seeded from
+the cell's run id (:func:`retry_delay`), so retry timing — and the
+SweepEvent order within one cell — is reproducible run to run.
+
+:func:`runner_session` sets ambient worker-count/cache/retry/chunking
+defaults so callers several layers up (the experiment CLI) can
+parallelise every ``run_variants`` underneath without threading
+arguments through each experiment's ``run`` method.
 """
 
 from __future__ import annotations
 
+import math
 import pickle
+import random
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -45,7 +67,17 @@ from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import CellExecutionError, RunnerError
 from repro.obs.log import get_logger
@@ -59,9 +91,11 @@ __all__ = [
     "execute_cells",
     "runner_session",
     "active_session",
+    "retry_delay",
     "RunnerSession",
     "MAX_POOL_RESTARTS",
     "MAX_CELL_BREAKS",
+    "MAX_CHUNK_CELLS",
 ]
 
 _log = get_logger("runner")
@@ -77,6 +111,12 @@ MAX_POOL_RESTARTS = 2
 #: A cell whose worker dies with the pool this many times is marked
 #: failed rather than requeued — it is almost certainly the killer.
 MAX_CELL_BREAKS = 2
+#: Upper bound on cells per dispatch chunk: big enough to amortise IPC,
+#: small enough that a late straggler chunk cannot starve the pool.
+MAX_CHUNK_CELLS = 32
+#: Adaptive chunking targets this many chunks per worker, so the tail
+#: of a sweep still load-balances across the pool.
+_CHUNKS_PER_WORKER = 4
 
 
 @dataclass
@@ -90,7 +130,8 @@ class CellOutcome:
     #: determinism tests compare); None when there is no result.
     result_json: Optional[str]
     run_id: str
-    #: ``pid<N>`` of the process that simulated, or ``"cache"``.
+    #: ``pid<N>`` of the process that simulated, ``"cache"``, or
+    #: ``"journal"`` for outcomes resumed from a sweep journal.
     worker: str
     cached: bool
     wall_s: float
@@ -121,6 +162,51 @@ class _Job:
     breaks: int = 0
 
 
+def retry_delay(run_id: str, attempt: int, backoff_s: float) -> float:
+    """Exponential backoff with jitter seeded from the cell's run id.
+
+    The jitter factor is drawn from ``Random(f"{run_id}#{attempt}")``,
+    uniform in ``[0.5, 1.5)`` — decorrelated across cells (so a burst of
+    failures does not retry in lockstep) yet bit-reproducible for a
+    given cell and attempt, which keeps retry timing and per-cell
+    SweepEvent ordering deterministic in tests.
+    """
+    base = backoff_s * (2 ** (max(1, attempt) - 1))
+    jitter = random.Random(f"{run_id}#{attempt}").random()
+    return base * (0.5 + jitter)
+
+
+def _auto_chunk_size(n_jobs: int, workers: int) -> int:
+    """Cells per chunk: ~4 chunks per worker, capped, never below 1."""
+    return max(1, min(MAX_CHUNK_CELLS, math.ceil(n_jobs / (workers * _CHUNKS_PER_WORKER))))
+
+
+def _pool_initializer() -> None:
+    """Warm a fresh worker before it takes cells (best-effort).
+
+    Pre-imports the simulator/workload/experiment stack and constructs
+    one throwaway :class:`~repro.sim.machine.Machine` per common preset,
+    priming process-wide caches (tree-PLRU victim LUTs, module import
+    machinery) so the first real cell pays simulation cost only.  Any
+    failure here is swallowed: warming is an optimisation, never a
+    correctness dependency.
+    """
+    try:  # pragma: no cover - exercised inside pool workers
+        import repro.experiments.common  # noqa: F401
+        import repro.workloads.microbench  # noqa: F401
+        import repro.workloads.nas  # noqa: F401
+        from repro.sim.machine import Machine, machine_a, machine_b_fast
+
+        for preset in (machine_a, machine_b_fast):
+            Machine(preset())
+    except Exception:  # pragma: no cover - warming must never break a pool
+        pass
+
+
+def _new_executor(workers: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=workers, initializer=_pool_initializer)
+
+
 @dataclass
 class RunnerSession:
     """Ambient execution defaults installed by :func:`runner_session`."""
@@ -130,12 +216,14 @@ class RunnerSession:
     timeout_s: Optional[float] = None
     retries: int = 0
     backoff_s: float = 0.5
+    #: None: size-adaptive (:func:`_auto_chunk_size`); 1 disables chunking.
+    chunk_size: Optional[int] = None
     _executor: Optional[ProcessPoolExecutor] = None
 
     def executor(self) -> Optional[ProcessPoolExecutor]:
-        """A pool shared across the session's execute_cells calls."""
+        """A warm pool shared across the session's execute_cells calls."""
         if self.workers > 1 and self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            self._executor = _new_executor(self.workers)
         return self._executor
 
     def invalidate_executor(self) -> None:
@@ -164,22 +252,26 @@ def runner_session(
     timeout_s: Optional[float] = None,
     retries: int = 0,
     backoff_s: float = 0.5,
+    chunk_size: Optional[int] = None,
+    cache_max_bytes: Optional[int] = None,
 ) -> Iterator[RunnerSession]:
-    """Install ambient runner defaults (and one shared process pool).
+    """Install ambient runner defaults (and one shared warm process pool).
 
     Every :func:`execute_cells` call inside the block — including the
     ones ``run_variants`` makes on behalf of registered experiments —
-    inherits ``workers``, the cache, and the retry policy unless
-    explicitly overridden.
+    inherits ``workers``, the cache, chunking, and the retry policy
+    unless explicitly overridden.  The pool is created once, warmed by
+    :func:`_pool_initializer`, and reused by every call in the block.
     """
     global _session
     previous = _session
     session = RunnerSession(
         workers=max(1, int(workers)),
-        cache=ResultCache(cache_dir) if cache_dir is not None else None,
+        cache=ResultCache(cache_dir, max_bytes=cache_max_bytes) if cache_dir is not None else None,
         timeout_s=timeout_s,
         retries=max(0, int(retries)),
         backoff_s=backoff_s,
+        chunk_size=chunk_size,
     )
     _session = session
     try:
@@ -205,11 +297,34 @@ def _run_pickled(payload: bytes) -> CellRun:
     return run_cell(pickle.loads(payload))
 
 
-class _PoolBroke(Exception):
-    """Internal: the process pool died while ``job`` was in flight."""
+#: Per-cell chunk result: ``("ok", CellRun)`` or ``("error", message)``.
+_ChunkItem = Tuple[str, object]
 
-    def __init__(self, job: _Job) -> None:
-        self.job = job
+
+def _run_chunk(payloads: Tuple[bytes, ...]) -> List[_ChunkItem]:
+    """Worker entry point for a chunk: run each cell independently.
+
+    One submission carries many cells (amortising pickle + future + IPC
+    overhead), but each cell still runs in its own fresh-workload,
+    fresh-machine world, so results are byte-identical to per-cell
+    dispatch.  A raising cell is reported as an ``("error", message)``
+    item in its slot — its chunk-mates' results survive, and the parent
+    re-runs the failure solo through the normal retry path.
+    """
+    items: List[_ChunkItem] = []
+    for payload in payloads:
+        try:
+            items.append(("ok", run_cell(pickle.loads(payload))))
+        except Exception as exc:
+            items.append(("error", f"{type(exc).__name__}: {exc}"))
+    return items
+
+
+class _PoolBroke(Exception):
+    """Internal: the process pool died while ``chunk`` was in flight."""
+
+    def __init__(self, chunk: List[_Job]) -> None:
+        self.chunk = chunk
         super().__init__("process pool broke")
 
 
@@ -221,19 +336,25 @@ def execute_cells(
     timeout_s: Optional[float] = None,
     retries: Optional[int] = None,
     backoff_s: Optional[float] = None,
+    chunk_size: Optional[int] = None,
     on_error: str = "return",
     events: EventBus = None,
 ) -> List[CellOutcome]:
     """Run every cell; outcomes come back in cell order, one per cell.
 
-    ``workers``/``cache``/retry policy default to the ambient
-    :func:`runner_session` (serial, uncached, no retries when none is
-    active).  Cache hits skip simulation entirely — the workload factory
-    is never called — and a stored payload that fails to parse is
-    treated as a miss and evicted, not an exception.  Cells whose
-    factory cannot pickle (lambdas, closures) fall back to inline
-    execution instead of failing; they produce identical results, just
-    without the parallelism.
+    ``workers``/``cache``/retry/chunking policy default to the ambient
+    :func:`runner_session` (serial, uncached, no retries, adaptive
+    chunks when none is active).  Cache hits skip simulation entirely —
+    the workload factory is never called — and a stored payload that
+    fails to parse is treated as a miss and evicted, not an exception.
+    Cells whose factory cannot pickle (lambdas, closures) fall back to
+    inline execution instead of failing; they produce identical
+    results, just without the parallelism.
+
+    ``chunk_size`` bounds how many cells ride one pool submission
+    (None: adaptive via :func:`_auto_chunk_size`; results are identical
+    at any value).  A ``timeout_s`` budget forces chunks of one so the
+    deadline applies per cell, exactly as before.
 
     ``on_error="return"`` reports failures as structured outcomes
     (``status``/``error``/``attempts``); ``"raise"`` raises
@@ -245,8 +366,9 @@ def execute_cells(
     timeout, failure, quarantine — is delivered as a
     :class:`~repro.runner.monitor.SweepEvent` to the callable, *after*
     the outcome exists, so a subscriber can never influence results
-    (attaching one changes no RunResult byte).  A subscriber that
-    raises is detached with a warning rather than failing the sweep.
+    (attaching one changes no RunResult byte).  Chunked dispatch emits
+    the same per-cell events.  A subscriber that raises is detached
+    with a warning rather than failing the sweep.
     """
     if on_error not in ("return", "raise"):
         raise RunnerError(f'on_error must be "return" or "raise", got {on_error!r}')
@@ -261,6 +383,8 @@ def execute_cells(
     retries = max(0, int(retries))
     if backoff_s is None:
         backoff_s = session.backoff_s if session is not None else 0.5
+    if chunk_size is None and session is not None:
+        chunk_size = session.chunk_size
     resolved_cache = _coerce_cache(cache)
     if resolved_cache is None and session is not None:
         resolved_cache = session.cache
@@ -402,7 +526,16 @@ def execute_cells(
 
     if pooled:
         leftovers = _drive_pool(
-            pooled, workers, session, timeout_s, retries, backoff_s, finish, fail, emit_event
+            pooled,
+            workers,
+            session,
+            timeout_s,
+            retries,
+            backoff_s,
+            chunk_size,
+            finish,
+            fail,
+            emit_event,
         )
         inline.extend(leftovers)
 
@@ -431,11 +564,18 @@ def _drive_pool(
     timeout_s: Optional[float],
     retries: int,
     backoff_s: float,
+    chunk_size: Optional[int],
     finish: Callable[[_Job, CellRun], None],
     fail: Callable[[_Job, str, str], None],
     emit_event: Callable[..., None],
 ) -> List[_Job]:
     """Run picklable jobs through a pool; returns jobs left for inline.
+
+    Dispatch is chunked: each submission carries ``chunk_size`` cells
+    (adaptive when None; forced to 1 under a per-cell timeout budget),
+    the worker reports per-cell results, and the parent unpacks them
+    into individual outcomes — a failure inside a chunk costs only that
+    cell, which re-enters the bounded-retry path as a solo submission.
 
     Survives worker death.  ``BrokenProcessPool`` fails *every* in-flight
     future at once, so the killer cannot be identified from the wreckage:
@@ -447,25 +587,36 @@ def _drive_pool(
     genuine killer would take the parent process with it); only clean
     jobs are returned for inline when restarts are exhausted.
     """
-    queue: Deque[_Job] = deque(pooled)
+    if timeout_s is not None:
+        size = 1  # the deadline is per cell; chunks would stretch it
+    elif chunk_size is not None:
+        size = max(1, int(chunk_size))
+    else:
+        size = _auto_chunk_size(len(pooled), workers)
+    queue: Deque[List[_Job]] = deque(
+        [list(pooled[i : i + size]) for i in range(0, len(pooled), size)]
+    )
     quarantine: Deque[_Job] = deque()
     restarts = 0
     while queue or quarantine:
         executor, own = _acquire_executor(session, workers)
-        futures: Dict[Future, _Job] = {}
+        futures: Dict[Future, List[_Job]] = {}
         deadlines: Dict[Future, float] = {}
         timed_out = False
         probe: Optional[_Job] = None
 
-        def submit(job: _Job) -> None:
+        def submit(chunk: List[_Job]) -> None:
             try:
-                future = executor.submit(_run_pickled, job.payload)
+                future = executor.submit(
+                    _run_chunk, tuple(job.payload for job in chunk)  # type: ignore[misc]
+                )
             except BrokenProcessPool:
-                raise _PoolBroke(job)
-            futures[future] = job
+                raise _PoolBroke(chunk)
+            futures[future] = chunk
             if timeout_s is not None:
                 deadlines[future] = time.monotonic() + timeout_s
-            emit_event("submit", index=job.index, run_id=cell_run_id(job.cell, "?"))
+            for job in chunk:
+                emit_event("submit", index=job.index, run_id=cell_run_id(job.cell, "?"))
 
         def refill() -> None:
             nonlocal probe
@@ -478,7 +629,7 @@ def _drive_pool(
                     f"cell {cell_run_id(probe.cell, '?')}: re-probing solo "
                     f"after a pool break",
                 )
-                submit(probe)
+                submit([probe])
 
         try:
             refill()
@@ -487,51 +638,71 @@ def _drive_pool(
                     set(futures), timeout=_poll_timeout(deadlines), return_when=FIRST_COMPLETED
                 )
                 for future in done:
-                    job = futures.pop(future)
+                    chunk = futures.pop(future)
                     deadlines.pop(future, None)
-                    if job is probe:
+                    if probe is not None and any(job is probe for job in chunk):
                         probe = None
                     try:
-                        run = future.result()
+                        items = future.result()
                     except BrokenProcessPool:
-                        raise _PoolBroke(job)
+                        raise _PoolBroke(chunk)
                     except Exception as exc:
+                        # The chunk itself failed to round-trip (result
+                        # unpickling, executor internals): every member
+                        # gets the error and its own retry budget.
+                        items = [("error", f"{type(exc).__name__}: {exc}")] * len(chunk)
+                    if len(items) < len(chunk):  # pragma: no cover - defensive
+                        items = list(items) + [("error", "chunk returned too few results")] * (
+                            len(chunk) - len(items)
+                        )
+                    for job, (tag, value) in zip(chunk, items):
+                        if tag == "ok":
+                            job.attempts += 1
+                            finish(job, value)  # type: ignore[arg-type]
+                            continue
                         job.attempts += 1
+                        error = str(value)
                         if job.attempts <= retries:
-                            delay = backoff_s * (2 ** (job.attempts - 1))
+                            run_id = cell_run_id(job.cell, "?")
+                            delay = retry_delay(run_id, job.attempts, backoff_s)
                             _log.info(
                                 "%s",
-                                f"cell {cell_run_id(job.cell, '?')}: attempt "
-                                f"{job.attempts} failed ({exc!r}); retrying in {delay:.2f}s",
+                                f"cell {run_id}: attempt {job.attempts} failed "
+                                f"({error}); retrying in {delay:.2f}s",
                             )
                             emit_event(
                                 "retry",
                                 index=job.index,
-                                run_id=cell_run_id(job.cell, "?"),
+                                run_id=run_id,
                                 attempts=job.attempts,
-                                error=f"{type(exc).__name__}: {exc}",
+                                error=error,
                             )
                             time.sleep(delay)
-                            submit(job)
+                            submit([job])
                         else:
-                            fail(job, "failed", f"{type(exc).__name__}: {exc}")
-                    else:
-                        job.attempts += 1
-                        finish(job, run)
+                            fail(job, "failed", error)
                 now = time.monotonic()
                 for future in [f for f, dl in deadlines.items() if dl <= now]:
-                    job = futures.pop(future)
+                    chunk = futures.pop(future)
                     deadlines.pop(future)
-                    if job is probe:
+                    if probe is not None and any(job is probe for job in chunk):
                         probe = None
                     future.cancel()  # queued: cancelled; running: abandoned
                     timed_out = True
-                    job.attempts += 1
-                    fail(job, "timeout", f"cell exceeded timeout_s={timeout_s}")
+                    for job in chunk:
+                        job.attempts += 1
+                        fail(job, "timeout", f"cell exceeded timeout_s={timeout_s}")
                 refill()
         except _PoolBroke as broke:
             restarts += 1
-            in_flight = [broke.job] + [j for j in futures.values() if j is not broke.job]
+            broke_ids = {id(job) for job in broke.chunk}
+            in_flight = list(broke.chunk) + [
+                job
+                for chunk in futures.values()
+                for job in chunk
+                if id(job) not in broke_ids
+            ]
+            solo_probe_broke = len(broke.chunk) == 1 and broke.chunk[0] is probe
             futures.clear()
             deadlines.clear()
             _log.warning(
@@ -545,7 +716,7 @@ def _drive_pool(
                 session.invalidate_executor()
             for job in sorted(in_flight, key=lambda j: j.index):
                 job.breaks += 1
-                if job is broke.job and probe is broke.job:
+                if solo_probe_broke and job is probe:
                     # It was alone in the pool: certain blame.
                     fail(
                         job,
@@ -577,11 +748,12 @@ def _drive_pool(
                         "pool restarts exhausted; cell was in flight during a "
                         "break and is not safe to run inline",
                     )
+                clean = sorted((job for chunk in queue for job in chunk), key=lambda j: j.index)
                 _log.warning(
                     "%s",
-                    f"pool restarts exhausted; running {len(queue)} clean cells inline",
+                    f"pool restarts exhausted; running {len(clean)} clean cells inline",
                 )
-                return sorted(queue, key=lambda j: j.index)
+                return clean
         else:
             if own:
                 # A timed-out worker may still be running; don't block on it.
@@ -592,12 +764,12 @@ def _drive_pool(
 def _acquire_executor(
     session: Optional[RunnerSession], workers: int
 ) -> Tuple[ProcessPoolExecutor, bool]:
-    """The session's shared pool when it matches, else a private one."""
+    """The session's shared warm pool when it matches, else a private one."""
     if session is not None and session.workers == workers:
         executor = session.executor()
         if executor is not None:
             return executor, False
-    return ProcessPoolExecutor(max_workers=workers), True
+    return _new_executor(workers), True
 
 
 def _poll_timeout(deadlines: Dict[Future, float]) -> Optional[float]:
@@ -623,14 +795,15 @@ def _run_inline(
         except Exception as exc:
             job.attempts += 1
             if job.attempts <= retries:
+                run_id = cell_run_id(job.cell, "?")
                 emit_event(
                     "retry",
                     index=job.index,
-                    run_id=cell_run_id(job.cell, "?"),
+                    run_id=run_id,
                     attempts=job.attempts,
                     error=f"{type(exc).__name__}: {exc}",
                 )
-                time.sleep(backoff_s * (2 ** (job.attempts - 1)))
+                time.sleep(retry_delay(run_id, job.attempts, backoff_s))
                 continue
             fail(job, "failed", f"{type(exc).__name__}: {exc}")
             return

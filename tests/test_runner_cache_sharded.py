@@ -1,0 +1,220 @@
+"""Sharded ResultCache: O(1) hot path, migration, concurrency, eviction, GC."""
+
+import json
+import os
+
+from repro.runner.cache import MANIFEST_NAME, ResultCache
+
+
+def _key(i):
+    """A plausible content-hash key (64 hex chars, distinct shards)."""
+    return f"{i:064x}"
+
+
+def _fill(cache, n, payload="x" * 100):
+    keys = [_key(i) for i in range(n)]
+    for k in keys:
+        cache.store(k, payload)
+    return keys
+
+
+class TestO1HotPath:
+    def test_len_stats_load_do_no_directory_walk(self, tmp_path, monkeypatch):
+        # The regression this suite exists for: __len__/stats()/load()
+        # must be answered by the manifest index, never by walking the
+        # (potentially million-entry) tree.
+        keys = _fill(ResultCache(tmp_path), 200)
+        fresh = ResultCache(tmp_path)
+
+        def forbid(*args, **kwargs):
+            raise AssertionError("directory walk on the cache hot path")
+
+        monkeypatch.setattr(os, "walk", forbid)
+        monkeypatch.setattr(os, "scandir", forbid)
+        monkeypatch.setattr(os, "listdir", forbid)
+        assert len(fresh) == 200
+        assert fresh.stats()["entries"] == 200
+        assert fresh.total_bytes == 200 * 100
+        assert fresh.load(keys[7]) == "x" * 100
+        assert fresh.load(_key(10**6)) is None  # a miss is O(1) too
+
+    def test_payloads_land_in_two_level_shards(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "abcdef" + "0" * 58
+        cache.store(key, "payload")
+        assert (tmp_path / "ab" / "cd" / f"{key}.json").is_file()
+        assert cache._payload_path(key).read_text() == "payload"
+
+    def test_manifest_survives_torn_tail_line(self, tmp_path):
+        _fill(ResultCache(tmp_path), 5)
+        with open(tmp_path / MANIFEST_NAME, "a") as fh:
+            fh.write('{"op": "add", "key": "torn-by-a-ki')  # no newline, no close
+        fresh = ResultCache(tmp_path)
+        assert len(fresh) == 5
+
+    def test_compact_rewrites_one_line_per_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _fill(cache, 6)
+        cache.evict(keys[0])
+        cache.store(keys[1], "y" * 50)  # re-store: two add lines pre-compact
+        cache.compact()
+        lines = (tmp_path / MANIFEST_NAME).read_text().splitlines()
+        assert len(lines) == 1 + 5  # header + one add per live entry
+        assert len(ResultCache(tmp_path)) == 5
+
+
+class TestMigration:
+    def test_flat_layout_reads_through_and_migrates(self, tmp_path):
+        key = _key(1)
+        (tmp_path / f"{key}.json").write_text("flat-payload")
+        cache = ResultCache(tmp_path)
+        assert cache.load(key) == "flat-payload"
+        assert cache._payload_path(key).is_file()
+        assert not (tmp_path / f"{key}.json").exists()
+        assert len(cache) == 1
+        # A fresh instance finds the migrated entry at its sharded path.
+        assert ResultCache(tmp_path).load(key) == "flat-payload"
+
+    def test_v1_single_level_layout_reads_through(self, tmp_path):
+        key = _key(2)
+        (tmp_path / key[:2]).mkdir()
+        (tmp_path / key[:2] / f"{key}.json").write_text("v1-payload")
+        (tmp_path / key[:2] / f"{key}.meta.json").write_text('{"run_id": "old"}')
+        cache = ResultCache(tmp_path)
+        assert cache.load(key) == "v1-payload"
+        assert cache.load_meta(key) == {"run_id": "old"}
+        assert cache._meta_path(key).is_file()
+
+    def test_pre_manifest_tree_is_adopted_once(self, tmp_path):
+        # A cache written before the manifest existed: first index load
+        # walks once, adopts everything, and writes the manifest so the
+        # walk is never paid again.
+        for i in range(4):
+            key = _key(i)
+            shard = tmp_path / key[:2] / key[2:4]
+            shard.mkdir(parents=True, exist_ok=True)
+            (shard / f"{key}.json").write_text("adopt-me")
+        assert not (tmp_path / MANIFEST_NAME).exists()
+        assert len(ResultCache(tmp_path)) == 4
+        assert (tmp_path / MANIFEST_NAME).is_file()
+        assert len(ResultCache(tmp_path)) == 4
+
+
+class TestConcurrency:
+    def test_two_sessions_interleaved_stores_never_corrupt(self, tmp_path):
+        # Two live handles on one root (what two runner sessions on a
+        # shared cache directory look like): every manifest line must
+        # stay whole and a third reader must see the union.
+        a, b = ResultCache(tmp_path), ResultCache(tmp_path)
+        for i in range(30):
+            (a if i % 2 == 0 else b).store(_key(i), f"payload-{i}")
+        for line in (tmp_path / MANIFEST_NAME).read_text().splitlines():
+            assert isinstance(json.loads(line), dict)  # no torn/merged lines
+        assert len(ResultCache(tmp_path)) == 30
+        # An existing handle catches up through refresh().
+        a.refresh()
+        assert len(a) == 30 and a.load(_key(1)) == "payload-1"
+
+    def test_same_key_stored_twice_counts_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(_key(0), "one")
+        cache.store(_key(0), "three")
+        assert len(cache) == 1
+        assert cache.total_bytes == len("three")
+        assert len(ResultCache(tmp_path)) == 1
+
+
+class TestEviction:
+    def test_store_evicts_lru_to_fit_budget(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=5000)
+        keys = _fill(cache, 6, payload="x" * 1000)
+        assert cache.total_bytes <= 5000
+        assert cache.load(keys[-1]) is not None  # the entry that tripped it survives
+        assert cache.load(keys[0]) is None  # the oldest went first
+        assert cache.stats()["evictions"] >= 1
+        # Disk agrees with the index: evicted payloads are gone.
+        assert not cache._payload_path(keys[0]).exists()
+
+    def test_hits_bump_recency(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=5000)
+        keys = [_key(i) for i in range(5)]
+        for k in keys:
+            cache.store(k, "x" * 1000)
+        assert cache.load(keys[0]) is not None  # refresh the oldest
+        cache.store(_key(99), "x" * 1000)  # trips the budget
+        assert cache.load(keys[0]) is not None  # recently used: kept
+        assert cache.load(keys[1]) is None  # true LRU victim
+
+    def test_no_budget_means_no_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        _fill(cache, 20, payload="x" * 1000)
+        assert len(cache) == 20 and cache.stats()["evictions"] == 0
+
+
+class TestGC:
+    def test_gc_reconciles_disk_and_manifest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = _fill(cache, 3)
+        # Sabotage: a vanished payload, crashed-writer litter, an orphan
+        # meta, and a payload the manifest never heard about.
+        cache._payload_path(keys[0]).unlink()
+        (tmp_path / "ab" / ".tmp-crashed").parent.mkdir(parents=True, exist_ok=True)
+        (tmp_path / "ab" / ".tmp-crashed").write_text("partial")
+        orphan = _key(50)
+        shard = tmp_path / orphan[:2] / orphan[2:4]
+        shard.mkdir(parents=True, exist_ok=True)
+        (shard / f"{orphan}.meta.json").write_text("{}")
+        stray = _key(60)
+        shard = tmp_path / stray[:2] / stray[2:4]
+        shard.mkdir(parents=True, exist_ok=True)
+        (shard / f"{stray}.json").write_text("untracked")
+
+        fresh = ResultCache(tmp_path)
+        counts = fresh.gc()
+        assert counts["dropped"] == 1
+        assert counts["tmp_removed"] == 1
+        assert counts["meta_removed"] == 1
+        assert counts["adopted"] == 1
+        assert len(fresh) == 3  # 3 stored - 1 vanished + 1 adopted
+        assert fresh.load(stray) == "untracked"
+        assert fresh.load(keys[0]) is None
+
+    def test_gc_migrates_legacy_payloads(self, tmp_path):
+        key = _key(3)
+        (tmp_path / f"{key}.json").write_text("flat")
+        cache = ResultCache(tmp_path)
+        # Force a manifest so gc (not index adoption) does the work.
+        cache.store(_key(4), "stored")
+        counts = cache.gc()
+        assert counts["migrated"] == 1
+        assert cache._payload_path(key).read_text() == "flat"
+        assert len(cache) == 2
+
+
+class TestMetrics:
+    def test_publish_metrics_exports_cache_gauges(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        cache = ResultCache(tmp_path)
+        cache.store(_key(0), "payload")
+        cache.load(_key(0))
+        cache.load(_key(1))
+        registry = cache.publish_metrics(MetricsRegistry())
+        assert registry.gauge("cache.hits").value == 1.0
+        assert registry.gauge("cache.misses").value == 1.0
+        assert registry.gauge("cache.stores").value == 1.0
+        assert registry.gauge("cache.entries").value == 1.0
+        assert registry.gauge("cache.bytes").value == float(len("payload"))
+
+    def test_monitor_snapshot_includes_cache_counters(self, tmp_path):
+        from repro.runner.monitor import SweepMonitor
+
+        cache = ResultCache(tmp_path)
+        cache.store(_key(0), "payload")
+        monitor = SweepMonitor(cache=cache)
+        monitor._publish()
+        snapshot = monitor.snapshot()
+        assert snapshot["cache_stores"] == 1.0
+        assert "cache:" in "\n".join(
+            line for line in monitor.render_dashboard().splitlines()
+        )

@@ -1,0 +1,161 @@
+"""Grid expansion and resumable execution via the outcome journal."""
+
+import functools
+import json
+
+from repro.core.prestore import PrestoreMode
+from repro.runner import Grid, cache_key, load_journal, run_grid
+from repro.sim.machine import machine_a, machine_b_fast
+from repro.workloads.microbench import Listing1
+
+MODES = (PrestoreMode.NONE, PrestoreMode.CLEAN)
+
+
+def _spy_factory():
+    _spy_factory.calls += 1
+    return Listing1(element_size=512, num_elements=32, iterations=40)
+
+
+_spy_factory.calls = 0
+
+_tiny = functools.partial(Listing1, element_size=512, num_elements=32, iterations=40)
+_other = functools.partial(Listing1, element_size=512, num_elements=48, iterations=40)
+
+
+def _always_raises():
+    raise RuntimeError("kaboom")
+
+
+def _grid(seeds=(1, 2)):
+    return Grid(factories=(_tiny,), machines=(machine_a(),), modes=MODES, seeds=seeds)
+
+
+class TestExpansion:
+    def test_len_is_the_axis_product(self):
+        grid = Grid(
+            factories=(_tiny, _other),
+            machines=(machine_a(), machine_b_fast()),
+            modes=MODES,
+            seeds=(1, 2, 3),
+        )
+        assert len(grid) == 2 * 2 * 2 * 3
+        assert len(grid.cells()) == len(grid)
+
+    def test_row_major_order_seeds_fastest(self):
+        grid = Grid(factories=(_tiny, _other), machines=(machine_a(),), modes=MODES, seeds=(1, 2))
+        cells = grid.cells()
+        # Seeds vary fastest, then modes, then factories.
+        assert [c.seed for c in cells[:2]] == [1, 2]
+        assert cells[0].mode == cells[1].mode == PrestoreMode.NONE
+        assert cells[2].mode == PrestoreMode.CLEAN
+        assert cells[0].make_workload is _tiny and cells[4].make_workload is _other
+
+    def test_expansion_is_stable(self):
+        assert [cache_key(c) for c in _grid().cells()] == [cache_key(c) for c in _grid().cells()]
+
+    def test_grid_iterates_cells(self):
+        assert [c.seed for c in _grid(seeds=(5,))] == [5, 5]
+
+    def test_axes_are_frozen_tuples(self):
+        grid = Grid(factories=[_tiny], machines=[machine_a()], modes=list(MODES), seeds=range(2))
+        assert grid.seeds == (0, 1)
+        assert isinstance(grid.factories, tuple)
+
+
+class TestResume:
+    def test_fresh_and_resumed_runs_are_bit_identical(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        grid = _grid()
+        fresh = run_grid(grid, journal=journal, workers=1)
+        assert all(o.status == "ok" for o in fresh)
+        resumed = run_grid(grid, journal=journal, workers=1)
+        assert [o.result_json for o in resumed] == [o.result_json for o in fresh]
+        assert all(o.worker == "journal" and o.cached for o in resumed)
+        assert all(o.attempts == 0 for o in resumed)
+
+    def test_limit_stops_early_and_resume_finishes(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        grid = _grid(seeds=(1, 2, 3))  # 6 cells
+        partial = run_grid(grid, journal=journal, limit=2, workers=1)
+        assert len(partial) == 2
+        assert len(load_journal(journal)) == 2
+        final = run_grid(grid, journal=journal, workers=1)
+        assert len(final) == len(grid)
+        assert sum(1 for o in final if o.worker == "journal") == 2
+        # Merged outcomes come back in grid order, byte-identical to a
+        # never-interrupted run.
+        reference = run_grid(grid, journal=None, workers=1)
+        assert [o.result_json for o in final] == [o.result_json for o in reference]
+
+    def test_resume_skips_the_workload_factory_entirely(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        grid = Grid(factories=(_spy_factory,), machines=(machine_a(),), modes=MODES, seeds=(9,))
+        _spy_factory.calls = 0
+        run_grid(grid, journal=journal, workers=1)
+        calls_after_fresh = _spy_factory.calls
+        assert calls_after_fresh == len(grid)
+        run_grid(grid, journal=journal, workers=1)
+        assert _spy_factory.calls == calls_after_fresh  # nothing re-ran
+
+    def test_no_resume_reruns_everything(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        grid = _grid(seeds=(4,))
+        run_grid(grid, journal=journal, workers=1)
+        rerun = run_grid(grid, journal=journal, resume=False, workers=1)
+        assert all(o.worker != "journal" for o in rerun)
+
+    def test_torn_journal_line_is_tolerated(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        grid = _grid()
+        run_grid(grid, journal=journal, workers=1)
+        with open(journal, "a") as fh:
+            fh.write('{"kind": "outcome", "key": "torn-by')  # kill -9 mid-write
+        resumed = run_grid(grid, journal=journal, workers=1)
+        assert all(o.worker == "journal" for o in resumed)
+
+    def test_failed_cells_are_journalled_but_not_resumed(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        boom = functools.partial(_always_raises)
+        grid = Grid(factories=(boom,), machines=(machine_a(),), modes=MODES, seeds=(1,))
+        first = run_grid(grid, journal=journal, workers=1)
+        assert all(o.status == "failed" for o in first)
+        lines = [json.loads(line) for line in journal.read_text().splitlines()]
+        outcome_lines = [d for d in lines if d["kind"] == "outcome"]
+        assert len(outcome_lines) == len(grid)
+        assert all("result_json" not in d for d in outcome_lines)
+        # Failures never resume: the cells run (and fail) again.
+        again = run_grid(grid, journal=journal, workers=1)
+        assert all(o.status == "failed" and o.worker != "journal" for o in again)
+
+    def test_begin_lines_record_schema_and_fingerprint(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        run_grid(_grid(seeds=(1,)), journal=journal, workers=1)
+        begin = json.loads(journal.read_text().splitlines()[0])
+        assert begin["kind"] == "begin"
+        assert begin["schema"] == "repro.sweep_journal/v1"
+        assert begin["total"] == 2 and begin["resumed"] == 0
+        assert begin["fingerprint"]
+
+    def test_journal_composes_with_result_cache(self, tmp_path):
+        from repro.runner import ResultCache
+
+        journal = tmp_path / "journal.jsonl"
+        cache = ResultCache(tmp_path / "cache")
+        grid = _grid(seeds=(6,))
+        fresh = run_grid(grid, journal=journal, workers=1, cache=cache)
+        # Wipe the journal but keep the cache: outcomes come back as
+        # cache hits with the same bytes.
+        journal.unlink()
+        cached = run_grid(grid, journal=journal, workers=1, cache=cache)
+        assert all(o.worker == "cache" for o in cached)
+        assert [o.result_json for o in cached] == [o.result_json for o in fresh]
+
+    def test_events_still_reach_the_user_bus(self, tmp_path):
+        from repro.runner.monitor import SweepMonitor
+
+        monitor = SweepMonitor()
+        journal = tmp_path / "journal.jsonl"
+        grid = _grid(seeds=(8,))
+        run_grid(grid, journal=journal, workers=1, events=monitor)
+        assert monitor.counts["ok"] == len(grid)
+        assert monitor.inflight == 0
