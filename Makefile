@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint sanitize obs-demo bench bench-sim bench-check sweep-smoke faults crashcheck
+.PHONY: test lint sanitize obs-demo bench bench-sim bench-check sweep-smoke serve-smoke faults crashcheck
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -71,6 +71,14 @@ sweep-smoke:
 	$(PYTHON) -m repro.runner sweep --cells 64 --workers 2 --chunk-size 4 \
 		--journal build/sweep-journal.jsonl \
 		--monitor-jsonl build/sweep-smoke.jsonl
+
+# Serving smoke: a small open-loop serving run with a crash at 60% of
+# the arrival horizon, asserting the latency percentiles (p50/p99/p999),
+# SLO, and durability fields are present and that the batched-stream
+# RunResult JSON is byte-identical to the reference vocabulary's
+# (CI's serve-smoke job).
+serve-smoke:
+	$(PYTHON) -m repro.traffic smoke --ops 800 --keys 512 --value-size 512
 
 # Crash-consistency self-check: seeded crash/fault matrix on machine A
 # and B-slow, asserting protocol durability, baseline vulnerability,

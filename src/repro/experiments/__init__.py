@@ -16,6 +16,7 @@ from repro.experiments import (  # noqa: F401  (imports register experiments)
     kv_machine_b,
     listing3_overhead,
     sec74_overheads,
+    serve,
     table1_devices,
     table2_classification,
     x9_latency,

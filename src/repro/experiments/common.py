@@ -14,8 +14,22 @@ __all__ = [
     "run_variants",
     "patch_all_sites",
     "endorsed_patches",
+    "safe_ratio",
     "MANUAL_MISUSE_SITES",
 ]
+
+
+def safe_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator``, NaN when the denominator is zero.
+
+    The §10 convention for measured denominators: NaN propagates through
+    derived metrics and renders as a visible hole, where a fake 0.0 (or
+    a ZeroDivisionError out of a whole experiment batch) would either
+    lie or lose the other rows.
+    """
+    if denominator == 0:
+        return float("nan")
+    return numerator / denominator
 
 #: Sites DirtBuster declines (Sections 5 and 7.4.2): patched only by the
 #: "incorrect manual use" experiments.

@@ -7,7 +7,7 @@ import functools
 from typing import List
 
 from repro.core.prestore import PrestoreMode
-from repro.experiments.common import run_variants
+from repro.experiments.common import run_variants, safe_ratio
 from repro.experiments.registry import Experiment, ExperimentResult, SeriesRow, register
 from repro.sim.machine import machine_b_fast, machine_b_slow
 from repro.workloads.microbench import Listing2
@@ -43,7 +43,7 @@ class Fig5Listing2(Experiment):
                 )
                 base = results[PrestoreMode.NONE]
                 demote = results[PrestoreMode.DEMOTE]
-                improvement = (base.cycles - demote.cycles) / base.cycles
+                improvement = safe_ratio(base.cycles - demote.cycles, base.cycles)
                 rows.append(
                     SeriesRow(
                         {"machine": machine_name, "reads_before_fence": nreads},

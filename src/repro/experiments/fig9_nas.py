@@ -6,7 +6,7 @@ import functools
 from typing import List
 
 from repro.core.prestore import PrestoreMode
-from repro.experiments.common import run_variants
+from repro.experiments.common import run_variants, safe_ratio
 from repro.experiments.registry import Experiment, ExperimentResult, SeriesRow, register
 from repro.sim.machine import machine_a
 from repro.workloads.nas import BTWorkload, FTWorkload, MGWorkload, SPWorkload, UAWorkload
@@ -44,7 +44,9 @@ class Fig9NAS(Experiment):
                 SeriesRow(
                     {"benchmark": kernel_cls.name},
                     {
-                        "normalized_runtime": clean.cycles_with_drain / base.cycles_with_drain,
+                        "normalized_runtime": safe_ratio(
+                            clean.cycles_with_drain, base.cycles_with_drain
+                        ),
                         "wa_baseline": base.write_amplification,
                         "wa_clean": clean.write_amplification,
                     },

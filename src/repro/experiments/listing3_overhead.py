@@ -13,7 +13,7 @@ import functools
 from typing import List
 
 from repro.core.prestore import PrestoreMode
-from repro.experiments.common import run_variants
+from repro.experiments.common import run_variants, safe_ratio
 from repro.experiments.registry import Experiment, ExperimentResult, SeriesRow, register
 from repro.sim.machine import machine_a
 from repro.workloads.microbench import Listing3
@@ -45,13 +45,13 @@ class Listing3Overhead(Experiment):
         rows = [
             SeriesRow(
                 {"variant": "baseline"},
-                {"cycles_per_iteration": base.cycles / iterations},
+                {"cycles_per_iteration": safe_ratio(base.cycles, iterations)},
             ),
             SeriesRow(
                 {"variant": "clean"},
                 {
-                    "cycles_per_iteration": clean.cycles / iterations,
-                    "slowdown": clean.cycles / base.cycles,
+                    "cycles_per_iteration": safe_ratio(clean.cycles, iterations),
+                    "slowdown": safe_ratio(clean.cycles, base.cycles),
                 },
             ),
         ]

@@ -17,7 +17,7 @@ import functools
 from typing import List
 
 from repro.core.prestore import PatchConfig, PrestoreMode
-from repro.experiments.common import run_variants
+from repro.experiments.common import run_variants, safe_ratio
 from repro.experiments.registry import Experiment, ExperimentResult, SeriesRow, register
 from repro.sim.machine import machine_a, machine_b_fast
 from repro.workloads.nas import FTWorkload, ISWorkload, MGWorkload, SPWorkload
@@ -60,7 +60,7 @@ class Sec741SuggestedOverhead(Experiment):
             )
             base = results[PrestoreMode.NONE]
             clean = results[PrestoreMode.CLEAN]
-            overhead = clean.cycles_with_drain / base.cycles_with_drain - 1.0
+            overhead = safe_ratio(clean.cycles_with_drain, base.cycles_with_drain) - 1.0
             rows.append(
                 SeriesRow({"workload": name}, {"overhead_pct": 100.0 * overhead})
             )
@@ -108,7 +108,7 @@ class Sec742ManualMisuse(Experiment):
         rows.append(
             SeriesRow(
                 {"workload": "nas-ft", "patched_site": "ft.fftz2"},
-                {"slowdown": ft_bad.cycles_with_drain / ft_base.cycles_with_drain},
+                {"slowdown": safe_ratio(ft_bad.cycles_with_drain, ft_base.cycles_with_drain)},
             )
         )
         # IS: clean the randomly-written buckets.  One ranking pass, as in
@@ -128,7 +128,7 @@ class Sec742ManualMisuse(Experiment):
         rows.append(
             SeriesRow(
                 {"workload": "nas-is", "patched_site": "is.rank"},
-                {"slowdown": is_bad.cycles_with_drain / is_base.cycles_with_drain},
+                {"slowdown": safe_ratio(is_bad.cycles_with_drain, is_base.cycles_with_drain)},
             )
         )
         return self._result(rows)

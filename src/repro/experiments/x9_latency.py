@@ -7,7 +7,7 @@ import functools
 from typing import List
 
 from repro.core.prestore import PrestoreMode
-from repro.experiments.common import run_variants
+from repro.experiments.common import run_variants, safe_ratio
 from repro.experiments.registry import Experiment, ExperimentResult, SeriesRow, register
 from repro.sim.machine import machine_b_fast, machine_b_slow
 from repro.workloads.x9 import X9Workload
@@ -41,9 +41,10 @@ class X9Latency(Experiment):
                 SeriesRow(
                     {"machine": machine_name},
                     {
-                        "cycles_per_message_baseline": base.cycles / messages,
-                        "cycles_per_message_demote": demote.cycles / messages,
-                        "latency_reduction_pct": 100.0 * (1.0 - demote.cycles / base.cycles),
+                        "cycles_per_message_baseline": safe_ratio(base.cycles, messages),
+                        "cycles_per_message_demote": safe_ratio(demote.cycles, messages),
+                        "latency_reduction_pct": 100.0
+                        * (1.0 - safe_ratio(demote.cycles, base.cycles)),
                         "fence_stall_baseline": base.total_fence_stall_cycles,
                         "fence_stall_demote": demote.total_fence_stall_cycles,
                     },

@@ -161,6 +161,7 @@ def run_with_faults(
             diagnostics = getattr(program.sanitizer, "diagnostics", None)
             if diagnostics is not None:
                 result.diagnostics = list(diagnostics())
+    result.extra.update(workload.result_extras())
     image: Optional[PersistentImage] = None
     recovery: Optional[Dict[str, object]] = None
     if device is not None:

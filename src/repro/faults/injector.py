@@ -132,12 +132,16 @@ class FaultDevice(MemoryDevice):
             done += fault.extra_latency
         return done
 
-    def _consume_media(self, now: float, nbytes: int) -> float:
+    def _media_occupancy_bytes(self, now: float, nbytes: int) -> int:
+        # Every media-consuming access routes through this seam — demand
+        # reads, combiner closes, and the final flush — so a degraded
+        # phase slows *live* traffic, not just the drain (its window is
+        # simulated time, which under open-loop load is arrival time).
         phase = self._phase_at(now)
-        if phase is not None:
+        if phase is not None and nbytes > 0:
             self.degraded_accesses += 1
             nbytes = int(nbytes * phase.slowdown)
-        return super()._consume_media(now, nbytes)
+        return nbytes
 
     def _phase_at(self, now: float) -> Optional[BandwidthPhase]:
         for i, phase in enumerate(self._phases):

@@ -152,6 +152,43 @@ class FaultPlan:
         )
 
     @classmethod
+    def crash_at_cycle(cls, cycle: float, combiner_persistent: bool = True) -> "FaultPlan":
+        """A plan that only crashes, at the given core clock cycle.
+
+        The natural selector for open-loop serving runs, where the
+        interesting crash points are expressed against arrival time
+        (simulated cycles), not instruction counts.
+        """
+        return cls(
+            crash=CrashPoint(at_cycle=float(cycle)),
+            combiner_persistent=combiner_persistent,
+        )
+
+    @classmethod
+    def degraded_window(
+        cls,
+        start_cycle: float,
+        length: float,
+        slowdown: float = 2.0,
+        combiner_persistent: bool = True,
+    ) -> "FaultPlan":
+        """A plan with one degraded-bandwidth phase and nothing else.
+
+        ``[start_cycle, start_cycle + length)`` in simulated time — which
+        for open-loop traffic is arrival time, so the phase lands on a
+        known slice of the offered load.
+        """
+        start = float(start_cycle)
+        return cls(
+            bandwidth_phases=(
+                BandwidthPhase(
+                    start_cycle=start, end_cycle=start + float(length), slowdown=float(slowdown)
+                ),
+            ),
+            combiner_persistent=combiner_persistent,
+        )
+
+    @classmethod
     def generate(
         cls,
         seed: int,

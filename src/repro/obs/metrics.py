@@ -107,7 +107,8 @@ class Histogram:
 
     def snapshot(self) -> Dict[str, float]:
         return {"count": float(self.count), "sum": self.total, "mean": self.mean,
-                "p50": self.quantile(0.5), "p99": self.quantile(0.99)}
+                "p50": self.quantile(0.5), "p99": self.quantile(0.99),
+                "p999": self.quantile(0.999)}
 
 
 Metric = Union[Counter, Gauge, Histogram]
@@ -210,7 +211,8 @@ class MetricsRegistry:
             if isinstance(metric, Histogram):
                 value = (
                     f"count={metric.count} mean={metric.mean:.2f} "
-                    f"p50={metric.quantile(0.5):.0f} p99={metric.quantile(0.99):.0f}"
+                    f"p50={metric.quantile(0.5):.0f} p99={metric.quantile(0.99):.0f} "
+                    f"p999={metric.quantile(0.999):.0f}"
                 )
             else:
                 v = metric.snapshot()

@@ -116,6 +116,57 @@ def _sim_summary() -> Dict[str, object]:
     return summary
 
 
+def _serving_summary() -> Dict[str, object]:
+    """Serving throughput cell: one run per event vocabulary.
+
+    A small open-loop :class:`~repro.traffic.serving.ServingWorkload`
+    run, timed under the fast (batched streams) and reference
+    interpreters.  ``events_per_sec`` rides the history gate's ±30%
+    throughput rule and ``identical`` its exact boolean rule;
+    ``fast_over_reference`` is trend-only.
+    """
+    from repro.core.prestore import PrestoreMode as Mode
+    from repro.experiments.common import endorsed_patches
+    from repro.traffic.arrivals import ArrivalSpec
+    from repro.traffic.serving import ServingWorkload
+    from repro.workloads.kv.ycsb import YCSBSpec
+
+    def make() -> ServingWorkload:
+        return ServingWorkload(
+            spec=YCSBSpec(mix="A", num_keys=512, operations=600, value_size=512),
+            clients=4,
+            arrival=ArrivalSpec(kind="poisson", rate_per_kcycle=0.25),
+            slo_cycles=10_000.0,
+        )
+
+    timings: Dict[bool, Dict[str, object]] = {}
+    for streams in (True, False):
+        workload = make()
+        started = time.perf_counter()
+        run = workload.run(
+            machine_a(),
+            endorsed_patches(workload, Mode.CLEAN),
+            seed=1234,
+            streams=streams,
+        ).run
+        wall = time.perf_counter() - started
+        timings[streams] = {
+            "json": run.to_json(),
+            "events_per_sec": _ratio(run.instructions, wall),
+            "ops": run.extra["serving"]["ops_completed"],
+        }
+    fast, reference = timings[True], timings[False]
+    return {
+        "events_per_sec": round(float(fast["events_per_sec"]), 1),
+        "reference_events_per_sec": round(float(reference["events_per_sec"]), 1),
+        "fast_over_reference": round(
+            _ratio(float(fast["events_per_sec"]), float(reference["events_per_sec"])), 3
+        ),
+        "ops": fast["ops"],
+        "identical": fast["json"] == reference["json"],
+    }
+
+
 def run_bench(
     workers: int = 4,
     cache_dir: Union[str, Path] = "build/runner-cache",
@@ -126,6 +177,7 @@ def run_bench(
     workers_sweep: Optional[Sequence[int]] = None,
     chunk_size: Optional[int] = None,
     sim: bool = True,
+    serving: bool = True,
     events: EventBus = None,
     outcomes_out: Union[str, Path, None] = None,
 ) -> Dict[str, object]:
@@ -226,6 +278,8 @@ def run_bench(
     }
     if sim:
         doc["sim"] = _sim_summary()
+    if serving:
+        doc["serving"] = _serving_summary()
     if outcomes_out is not None:
         outcomes_doc = {
             "schema": "repro.bench_outcomes/v1",

@@ -119,6 +119,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the event-interpreter throughput summary (repro.sim.bench)",
     )
     bench.add_argument(
+        "--no-serving",
+        action="store_true",
+        help="skip the serving throughput cell (repro.traffic)",
+    )
+    bench.add_argument(
         "--watch",
         action="store_true",
         help="live sweep dashboard: utilisation, hit-rate, cells/s, ETA, event rates",
@@ -198,6 +203,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 workers_sweep=args.workers_sweep,
                 chunk_size=args.chunk_size,
                 sim=not args.no_sim,
+                serving=not args.no_serving,
                 events=events,
                 outcomes_out=args.outcomes,
             )

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
     IO,
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterator,
@@ -49,6 +50,9 @@ from repro.runner.monitor import SweepEvent
 from repro.runner.pool import CellOutcome, EventBus, execute_cells
 from repro.sim.machine import MachineSpec
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["Grid", "run_grid", "load_journal", "JOURNAL_SCHEMA"]
 
@@ -83,14 +87,23 @@ class Grid:
     sanitize: bool = False
     crashcheck: bool = False
     experiment: Optional[str] = None
+    #: Fault-plan axis (the serving scenarios sweep steady / degraded /
+    #: crash): None or an empty plan is the plain, bit-identical run.
+    fault_plans: Sequence[Optional["FaultPlan"]] = (None,)
 
     def __post_init__(self) -> None:
         # Freeze the axes: a Grid is a value, not a mutable builder.
-        for name in ("factories", "machines", "modes", "seeds"):
+        for name in ("factories", "machines", "modes", "fault_plans", "seeds"):
             object.__setattr__(self, name, tuple(getattr(self, name)))
 
     def __len__(self) -> int:
-        return len(self.factories) * len(self.machines) * len(self.modes) * len(self.seeds)
+        return (
+            len(self.factories)
+            * len(self.machines)
+            * len(self.modes)
+            * len(self.fault_plans)
+            * len(self.seeds)
+        )
 
     def cells(self) -> List[Cell]:
         """The expanded cell list, row-major over the axes."""
@@ -105,9 +118,10 @@ class Grid:
                 sanitize=self.sanitize,
                 crashcheck=self.crashcheck,
                 experiment=self.experiment,
+                fault_plan=plan,
             )
-            for factory, spec, mode, seed in itertools.product(
-                self.factories, self.machines, self.modes, self.seeds
+            for factory, spec, mode, plan, seed in itertools.product(
+                self.factories, self.machines, self.modes, self.fault_plans, self.seeds
             )
         ]
 

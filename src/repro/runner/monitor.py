@@ -141,6 +141,8 @@ class SweepMonitor:
         self.sim_counts: Dict[str, int] = {k: 0 for k in _SIM_KINDS}
         self.sim_instructions = 0
         self.sim_wall_s = 0.0
+        self.serving_ops = 0
+        self.serving_violations = 0
 
     @property
     def done(self) -> int:
@@ -225,6 +227,10 @@ class SweepMonitor:
         self.attempts += event.attempts
         if event.kind != "cache_hit":
             self.inflight = max(0, self.inflight - 1)
+        if status in ("ok", "cached"):
+            completed = event.outcome
+            if completed is not None and completed.result is not None:
+                self._fold_serving(completed.result)
         if status == "ok":
             self.registry.histogram(
                 "sweep.cell_wall_s", bounds=_LATENCY_BOUNDS,
@@ -240,6 +246,46 @@ class SweepMonitor:
                 for core in outcome.result.cores:
                     for kind in _SIM_KINDS:
                         self.sim_counts[kind] += getattr(core, kind)
+
+    def _fold_serving(self, result: object) -> None:
+        """Fold one cell's ``extra["serving"]`` aggregates fleet-wide.
+
+        Cached outcomes count too — the serving panel describes the
+        sweep's *results*, not how they were obtained.  The per-cell
+        latency histograms merge into one fleet histogram when every
+        cell shares the same SLO-scaled bucket bounds; a sweep mixing
+        SLO configurations keeps the op/violation counters but refuses
+        the silent re-bucketing a merge would imply.
+        """
+        serving = getattr(result, "extra", {}).get("serving")
+        if not isinstance(serving, dict):
+            return
+        self.serving_ops += int(serving.get("ops_completed") or 0)
+        self.serving_violations += int(serving.get("slo_violations") or 0)
+        doc = serving.get("histogram")
+        if not isinstance(doc, dict):
+            return
+        bounds = tuple(float(b) for b in doc.get("bounds", ()))
+        counts = doc.get("counts", ())
+        if not bounds or len(counts) != len(bounds) + 1:
+            return
+        hist = self.registry.histogram(
+            "serving.latency_cycles",
+            bounds=bounds,
+            help="request latency across the sweep's serving cells (cycles)",
+        )
+        if hist.bounds != bounds:
+            return
+        folded = 0
+        for i, n in enumerate(counts):
+            hist.bucket_counts[i] += int(n)
+            folded += int(n)
+        hist.count += folded
+        mean = serving.get("latency_mean")
+        if isinstance(mean, (int, float)):
+            # The extra carries mean, not sum; reconstructing keeps the
+            # fleet histogram's own mean meaningful.
+            hist.total += float(mean) * folded
 
     # -- registry publication ------------------------------------------------
 
@@ -283,6 +329,13 @@ class SweepMonitor:
                 f"sim.events_per_sec.{kind}",
                 help="simulated events of this vocabulary kind per host second",
             ).set(rate)
+        if self.serving_ops:
+            reg.gauge(
+                "serving.ops", help="completed serving requests across the sweep"
+            ).set(self.serving_ops)
+            reg.gauge(
+                "serving.slo_violations", help="serving requests over their SLO"
+            ).set(self.serving_violations)
         if self.cache is not None:
             self.cache.publish_metrics(reg)
 
@@ -381,6 +434,18 @@ class SweepMonitor:
             path = "fast" if self.registry.gauge("sim.fast_path").value == 1.0 else "reference"
             pairs = "  ".join(f"{k} {fmt(v, '/s')}" for k, v in sorted(rates.items()))
             lines.append(f"  sim events ({path} path): {pairs}")
+        if self.serving_ops:
+            line = (
+                f"  serving: {self.serving_ops} ops  "
+                f"SLO violations {self.serving_violations}"
+            )
+            hist = self.registry.get("serving.latency_cycles")
+            if hist is not None and getattr(hist, "count", 0):
+                line += (
+                    f"  latency p50 {fmt(hist.quantile(0.5))}  "
+                    f"p99 {fmt(hist.quantile(0.99))}  p999 {fmt(hist.quantile(0.999))}"
+                )
+            lines.append(line)
         return "\n".join(lines)
 
     def render_openmetrics(self) -> str:

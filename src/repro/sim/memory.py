@@ -284,6 +284,17 @@ class MemoryDevice:
         self._media_next_free = start + nbytes / self.spec.bandwidth_bytes_per_cycle
         return self._media_next_free
 
+    def _media_occupancy_bytes(self, now: float, nbytes: int) -> int:
+        """Fault-injection seam: the media work one access costs at ``now``.
+
+        The base device returns ``nbytes`` unchanged (the stream fast
+        path inlines exactly this identity arithmetic); the
+        fault-tracking device multiplies it inside degraded-bandwidth
+        phases, which is safe because installing a fault device always
+        forces streams to unroll onto the out-of-line methods
+        (``FaultInjector.accepts_streams``)."""
+        return nbytes
+
     # -- CPU-visible operations ---------------------------------------------
 
     def read(self, addr: int, size: int, now: float) -> float:
@@ -320,6 +331,8 @@ class MemoryDevice:
             read_buffer[block] = True
             if len(read_buffer) > self._combiner_entries:
                 del read_buffer[next(iter(read_buffer))]
+        if media_bytes:
+            media_bytes = self._media_occupancy_bytes(now, media_bytes)
         occupancy = media_bytes / self._read_bw
         media = self._media_next_free
         start = now if now >= media else media
@@ -363,11 +376,10 @@ class MemoryDevice:
         # A closed entry's media write cannot start before the bus has
         # delivered the payload that triggered the close; each write
         # serialises on the media horizon, so the last one dominates.
-        step = gran / self._bw
         media = self._media_next_free
         for _ in range(closed):
             start = bus_done if bus_done >= media else media
-            media = start + step
+            media = start + self._media_occupancy_bytes(start, gran) / self._bw
         self._media_next_free = media
         return media + self._write_latency
 
@@ -378,7 +390,12 @@ class MemoryDevice:
         for _ in range(closed):
             self.stats.media_writes += 1
             self.stats.media_bytes_written += self.spec.internal_granularity
-            done = max(done, self._consume_media(now, self.spec.internal_granularity))
+            done = max(
+                done,
+                self._consume_media(
+                    now, self._media_occupancy_bytes(now, self.spec.internal_granularity)
+                ),
+            )
         return done
 
     def quiesce_time(self, now: float) -> float:

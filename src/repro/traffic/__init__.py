@@ -1,0 +1,25 @@
+"""Traffic generation and serving: open-loop load for the KV stores.
+
+The layer that turns the paper-shaped KV microbenches into a serving
+scenario (ROADMAP item 3): seeded open-loop arrival processes
+(:class:`ArrivalSpec`), a deterministic multi-client interleaver
+compiling per-client YCSB operation streams into arrival-stamped
+schedules (:func:`compile_schedule`), and :class:`ServingWorkload`,
+which drives a CLHT or Masstree store under that schedule and reports
+p50/p99/p999 latency plus SLO-violation accounting through
+``RunResult.extra["serving"]`` — composing unchanged with the runner
+pool/cache, the stream fast path, and :mod:`repro.faults`
+(DESIGN.md §17).
+"""
+
+from repro.traffic.arrivals import ArrivalSpec
+from repro.traffic.interleave import ServingOp, compile_schedule
+from repro.traffic.serving import ServingWorkload, latency_bounds
+
+__all__ = [
+    "ArrivalSpec",
+    "ServingOp",
+    "compile_schedule",
+    "ServingWorkload",
+    "latency_bounds",
+]

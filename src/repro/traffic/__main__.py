@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.traffic``."""
+
+import sys
+
+from repro.traffic.cli import main
+
+sys.exit(main())

@@ -1,0 +1,110 @@
+"""Seeded open-loop arrival processes.
+
+An :class:`ArrivalSpec` describes *offered load*: when requests arrive,
+independent of when the server finishes them.  That open-loop property
+is the whole point — closed-loop microbenches let a slow server throttle
+its own load, hiding the queueing delay that dominates tail latency
+under real traffic (the MigrantStore / hybrid-memory emulation
+observation in PAPERS.md).  Arrival times are generated up front from
+the spec and a run seed, so the same (spec, seed) yields the same
+schedule in every process — the serving layer pre-posts them as mailbox
+timestamps and the simulator's WAIT semantics do the pacing.
+
+Two base processes, plus an on/off burst modulator stacked on either:
+
+* ``poisson`` — exponential gaps (memoryless, the standard open-loop
+  model);
+* ``constant`` — fixed gaps (isolates queueing from arrival variance);
+* bursty — while the modulator is in its *off* phase every gap is
+  multiplied by ``burst_slowdown``, producing alternating windows of
+  full-rate and trickle traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import WorkloadError
+
+__all__ = ["ArrivalSpec"]
+
+_KINDS = ("poisson", "constant")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One open-loop arrival process, as frozen (picklable) data.
+
+    Rates are expressed per kilocycle of simulated time so specs read
+    naturally at simulator scale (``rate_per_kcycle=2.0`` means a mean
+    gap of 500 cycles).
+    """
+
+    kind: str = "poisson"
+    rate_per_kcycle: float = 1.0
+    #: Folded into the arrival RNG alongside the run seed, so two
+    #: processes in one run can differ while both follow the run seed.
+    seed: int = 0
+    #: On/off burst modulation: full-rate for ``burst_on_kcycles``, then
+    #: gaps stretched by ``burst_slowdown`` for ``burst_off_kcycles``,
+    #: repeating.  Both zero (the default) disables modulation.
+    burst_on_kcycles: float = 0.0
+    burst_off_kcycles: float = 0.0
+    burst_slowdown: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise WorkloadError(f"unknown arrival kind {self.kind!r}; choose from {_KINDS}")
+        if self.rate_per_kcycle <= 0:
+            raise WorkloadError(f"arrival rate must be positive, got {self.rate_per_kcycle}")
+        if self.burst_on_kcycles < 0 or self.burst_off_kcycles < 0:
+            raise WorkloadError("burst phase lengths cannot be negative")
+        if (self.burst_on_kcycles > 0) != (self.burst_off_kcycles > 0):
+            raise WorkloadError("burst modulation needs both on and off phase lengths")
+        if self.burst_slowdown < 1.0:
+            raise WorkloadError(f"burst slowdown must be >= 1, got {self.burst_slowdown}")
+
+    @property
+    def mean_gap_cycles(self) -> float:
+        """Mean inter-arrival gap of the unmodulated process, in cycles."""
+        return 1000.0 / self.rate_per_kcycle
+
+    @property
+    def bursty(self) -> bool:
+        return self.burst_on_kcycles > 0 and self.burst_off_kcycles > 0
+
+    def times(self, count: int, seed: int = 0) -> List[float]:
+        """The first ``count`` arrival times (cycles, ascending).
+
+        Deterministic in (spec, seed): the derivation never touches
+        global RNG state, and times are rounded to millicycles so the
+        floats serialise stably.
+        """
+        if count < 0:
+            raise WorkloadError(f"arrival count cannot be negative, got {count}")
+        rng = random.Random(seed * 1_000_003 + self.seed)
+        mean = self.mean_gap_cycles
+        on = self.burst_on_kcycles * 1000.0
+        period = on + self.burst_off_kcycles * 1000.0
+        bursty = self.bursty
+        constant = self.kind == "constant"
+        now = 0.0
+        out: List[float] = []
+        for _ in range(count):
+            gap = mean if constant else rng.expovariate(1.0 / mean)
+            if bursty and (now % period) >= on:
+                gap *= self.burst_slowdown
+            now += gap
+            out.append(round(now, 3))
+        return out
+
+    def expected_horizon_cycles(self, count: int) -> float:
+        """Rough end time of a ``count``-arrival schedule (for placing
+        fault phases relative to the offered load)."""
+        stretch = 1.0
+        if self.bursty:
+            on, off = self.burst_on_kcycles, self.burst_off_kcycles
+            stretch = (on + off * self.burst_slowdown) / (on + off)
+        return count * self.mean_gap_cycles * stretch

@@ -1,0 +1,86 @@
+"""The deterministic multi-client interleaver.
+
+:func:`compile_schedule` fuses an arrival process with per-client YCSB
+operation streams into per-client schedules of :class:`ServingOp`:
+arrival *i* goes to client ``i % clients`` (round-robin load balancing,
+as a front-end dispatcher would), and each client's operation contents
+are drawn from its own seeded ``operation_stream`` with the disjoint
+``insert_start``/``insert_stride`` convention the KV workloads already
+use.  By construction each client's (op, key) sequence is exactly a
+prefix of its YCSB stream — the subsequence property the hypothesis
+suite checks — and the whole schedule is a pure function of
+(spec, arrival, clients, operations, seed).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import WorkloadError
+from repro.traffic.arrivals import ArrivalSpec
+from repro.workloads.kv.ycsb import YCSBSpec
+
+__all__ = ["ServingOp", "compile_schedule"]
+
+
+@dataclass(frozen=True)
+class ServingOp:
+    """One scheduled request: who runs what, on which key, and when."""
+
+    client: int
+    #: Per-client sequence number (position in this client's schedule).
+    seq: int
+    #: Global arrival index (position in the merged arrival order).
+    index: int
+    op: str
+    key: int
+    #: Arrival time in simulated cycles.
+    arrival: float
+
+
+def compile_schedule(
+    spec: YCSBSpec,
+    arrival: ArrivalSpec,
+    clients: int,
+    operations: int,
+    seed: int,
+) -> List[List[ServingOp]]:
+    """Compile per-client schedules for ``operations`` total requests.
+
+    Returns one list per client, each sorted by arrival time (a client
+    serves its own requests in order).  Client ``c`` inserts keys
+    ``spec.num_keys + c, spec.num_keys + c + clients, ...`` so inserted
+    keys never collide across clients.
+    """
+    if clients <= 0:
+        raise WorkloadError(f"need at least one client, got {clients}")
+    if operations < 0:
+        raise WorkloadError(f"operation count cannot be negative, got {operations}")
+    times = arrival.times(operations, seed=seed)
+    counts = [len(range(c, operations, clients)) for c in range(clients)]
+    contents = [
+        list(
+            itertools.islice(
+                spec.operation_stream(
+                    random.Random(seed + 7919 * c),
+                    operations=counts[c],
+                    insert_start=spec.num_keys + c,
+                    insert_stride=clients,
+                ),
+                counts[c],
+            )
+        )
+        for c in range(clients)
+    ]
+    schedule: List[List[ServingOp]] = [[] for _ in range(clients)]
+    for index, when in enumerate(times):
+        client = index % clients
+        seq = len(schedule[client])
+        op, key = contents[client][seq]
+        schedule[client].append(
+            ServingOp(client=client, seq=seq, index=index, op=op, key=key, arrival=when)
+        )
+    return schedule

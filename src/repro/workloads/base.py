@@ -62,6 +62,17 @@ class Workload(ABC):
     def spawn(self, program: Program, patches: PatchConfig) -> None:
         """Register this workload's thread bodies on ``program``."""
 
+    def result_extras(self) -> dict:
+        """Workload-level measurements to fold into ``RunResult.extra``.
+
+        Called after the program ran (clean completion *or* crash);
+        override to export JSON-serialisable per-run aggregates — the
+        serving layer reports latency quantiles and SLO accounting this
+        way.  Values must be deterministic functions of (spec, patches,
+        seed) so cached results stay bit-identical.
+        """
+        return {}
+
     def run(
         self,
         spec: MachineSpec,
@@ -87,6 +98,7 @@ class Workload(ABC):
         )
         self.spawn(program, patches)
         result = program.run()
+        result.extra.update(self.result_extras())
         enabled = patches.enabled_sites()
         summary = ", ".join(f"{k}={v}" for k, v in sorted(enabled.items())) or "baseline"
         return WorkloadResult(workload=self.name, patch_summary=summary, run=result)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import WorkloadError
 
@@ -44,8 +44,15 @@ class ZipfianGenerator:
     """
 
     _zeta_cache: Dict[Tuple[int, float], float] = {}
+    #: Per-theta prefix sums at every multiple of ``_ZETA_BLOCK``, built
+    #: strictly in ascending order so each checkpoint's float value is a
+    #: pure function of (theta, index) — never of which n was asked for
+    #: first.  That keeps zeta (and so every zipfian draw) bit-identical
+    #: across processes regardless of cell scheduling order.
+    _zeta_blocks: Dict[float, List[float]] = {}
+    _ZETA_BLOCK = 4096
 
-    def __init__(self, n: int, theta: float = 0.99, rng: random.Random = None) -> None:
+    def __init__(self, n: int, theta: float = 0.99, rng: Optional[random.Random] = None) -> None:
         if n <= 0:
             raise WorkloadError(f"zipfian range must be positive, got {n}")
         if not 0.0 < theta < 1.0:
@@ -69,7 +76,22 @@ class ZipfianGenerator:
         cached = cls._zeta_cache.get(key)
         if cached is not None:
             return cached
-        total = sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        # Incremental zeta (Gray et al.): resume from the largest cached
+        # prefix instead of re-summing the whole harmonic series.  The
+        # accumulation order (ascending from i=1, left to right) matches
+        # the old from-scratch sum exactly, so the result is the same
+        # float bit for bit.
+        block = cls._ZETA_BLOCK
+        blocks = cls._zeta_blocks.setdefault(theta, [0.0])
+        want = n // block
+        while len(blocks) <= want:
+            total = blocks[-1]
+            for i in range((len(blocks) - 1) * block + 1, len(blocks) * block + 1):
+                total += 1.0 / (i ** theta)
+            blocks.append(total)
+        total = blocks[want]
+        for i in range(want * block + 1, n + 1):
+            total += 1.0 / (i ** theta)
         cls._zeta_cache[key] = total
         return total
 
@@ -108,28 +130,34 @@ class YCSBSpec:
     def operation_stream(
         self,
         rng: random.Random,
-        operations: int = None,
-        insert_start: int = None,
+        operations: Optional[int] = None,
+        insert_start: Optional[int] = None,
         insert_stride: int = 1,
     ) -> Iterator[Tuple[str, int]]:
         """Yield (op, key) pairs for one client thread.
 
         Concurrent clients pass disjoint ``insert_start``/``insert_stride``
         so inserted keys never collide (as YCSB's insert key chooser
-        guarantees per client).
+        guarantees per client).  Mix D's read-latest window is measured
+        in this client's own insert *steps*: reads land on keys this
+        client actually inserted, falling back to the preloaded tail
+        when the window reaches past its first insert.
         """
         read_frac, update_frac, insert_frac = YCSB_MIXES[self.mix]
         zipf = ZipfianGenerator(self.num_keys, theta=self.theta, rng=rng)
         next_insert_key = self.num_keys if insert_start is None else insert_start
+        inserts_done = 0
         if operations is None:
             operations = self.operations
         for _ in range(operations):
             draw = rng.random()
             if draw < read_frac:
                 if self.mix == "D":
-                    # Read-latest: prefer recently inserted keys.
-                    back = min(zipf.next(), self.latest_window, next_insert_key - 1)
-                    yield OP_READ, max(0, next_insert_key - 1 - back)
+                    back = min(zipf.next(), self.latest_window)
+                    if back < inserts_done:
+                        yield OP_READ, next_insert_key - (1 + back) * insert_stride
+                    else:
+                        yield OP_READ, max(0, self.num_keys - 1 - (back - inserts_done))
                 else:
                     yield OP_READ, zipf.next()
             elif draw < read_frac + update_frac:
@@ -137,3 +165,4 @@ class YCSBSpec:
             else:
                 yield OP_INSERT, next_insert_key
                 next_insert_key += insert_stride
+                inserts_done += 1

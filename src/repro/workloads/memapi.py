@@ -123,11 +123,15 @@ class ThreadCtx:
         line_size: int,
         seed: int,
         emit_streams: bool = False,
+        core: Optional[object] = None,
     ) -> None:
         self.tid = tid
         self.allocator = allocator
         self.line_size = line_size
         self.rng = random.Random(seed)
+        #: The machine core this thread runs on (set by Program.spawn);
+        #: lets generator code read simulated time between yields.
+        self.core = core
         #: When set, the block helpers emit one batched STREAM event per
         #: run instead of one READ/WRITE per chunk.  The machine expands
         #: streams with bit-identical semantics (DESIGN.md §11), so this
@@ -164,6 +168,20 @@ class ThreadCtx:
         if not self._site_stack:
             return UNKNOWN_SITE, ()
         return self._site_stack[-1], tuple(self._site_stack[:-1])
+
+    # -- simulated time -----------------------------------------------------------
+
+    def now(self) -> float:
+        """This thread's simulated clock, in cycles.
+
+        Generator code between ``yield``s runs *after* the yielded event
+        completed, so ``now()`` reads the completion time of the last
+        event — identically in the reference and stream vocabularies
+        (a stream resumes the generator only once fully executed).
+        """
+        if self.core is None:
+            raise WorkloadError("ThreadCtx.now() needs a machine core (spawn via Program)")
+        return self.core.clock
 
     # -- allocation ---------------------------------------------------------------
 
@@ -352,7 +370,9 @@ class Program:
         self.obs = collector
         self.sanitizer = sanitizer
         self.allocator = Allocator(spec.line_size)
-        self._seed = seed
+        #: The run seed, public so workloads can derive deterministic
+        #: auxiliary state (arrival schedules, client streams) from it.
+        self.seed = seed
         self.streams = _default_streams() if streams is None else bool(streams)
         self._bodies: List[Iterator[Event]] = []
         self._contexts: List[ThreadCtx] = []
@@ -368,8 +388,9 @@ class Program:
             tid=len(self._bodies),
             allocator=self.allocator,
             line_size=self.machine.line_size,
-            seed=self._seed + 7919 * len(self._bodies),
+            seed=self.seed + 7919 * len(self._bodies),
             emit_streams=self.streams,
+            core=self.machine.cores[len(self._bodies)],
         )
         self._contexts.append(ctx)
         self._bodies.append(body(ctx, *args, **kwargs))

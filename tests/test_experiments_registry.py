@@ -35,7 +35,7 @@ PAPER_IDS = {
 ABLATION_IDS = {"abl-replacement", "abl-combiner", "abl-ycsb-mixes", "abl-granularity"}
 
 #: Beyond-the-paper artifacts (ROADMAP extensions) that register too.
-EXTRA_IDS = {"faults-window"}
+EXTRA_IDS = {"faults-window", "serve"}
 
 
 class TestRegistry:

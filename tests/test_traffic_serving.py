@@ -1,0 +1,242 @@
+"""ServingWorkload: latency accounting, determinism, fault composition."""
+
+import functools
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.prestore import PatchConfig, PrestoreMode
+from repro.errors import WorkloadError
+from repro.faults.harness import run_with_faults
+from repro.faults.plan import FaultPlan
+from repro.runner import execute_cells
+from repro.runner.grid import Grid
+from repro.runner.monitor import SweepMonitor
+from repro.sim.machine import machine_a
+from repro.traffic.arrivals import ArrivalSpec
+from repro.traffic.serving import ServingWorkload, latency_bounds
+from repro.workloads.kv.ycsb import YCSBSpec
+
+SLO = 10_000.0
+
+
+def _spec(operations=300, num_keys=128, value_size=256):
+    return YCSBSpec(mix="A", num_keys=num_keys, operations=operations, value_size=value_size)
+
+
+def _workload(**kwargs):
+    defaults = dict(
+        spec=_spec(),
+        clients=2,
+        arrival=ArrivalSpec(rate_per_kcycle=0.25),
+        slo_cycles=SLO,
+    )
+    defaults.update(kwargs)
+    return ServingWorkload(**defaults)
+
+
+#: Picklable factory for the worker-count identity test.
+_FACTORY = functools.partial(
+    ServingWorkload,
+    spec=_spec(),
+    clients=2,
+    arrival=ArrivalSpec(rate_per_kcycle=0.25),
+    slo_cycles=SLO,
+)
+
+
+class TestValidation:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(WorkloadError):
+            _workload(clients=0)
+        with pytest.raises(WorkloadError):
+            _workload(store="rocksdb")
+        with pytest.raises(WorkloadError):
+            _workload(slo_cycles=0.0)
+
+    def test_rejects_more_clients_than_cores(self):
+        workload = _workload(clients=64)
+        with pytest.raises(WorkloadError):
+            workload.run(machine_a(), PatchConfig.baseline(), seed=1)
+
+    def test_latency_bounds_reject_nonpositive_slo(self):
+        with pytest.raises(WorkloadError):
+            latency_bounds(0.0)
+        bounds = latency_bounds(SLO)
+        assert bounds == tuple(sorted(bounds))
+        assert SLO in bounds
+
+
+class TestServingExtras:
+    def test_result_reports_latency_slo_and_durability(self):
+        workload = _workload()
+        result = workload.run(machine_a(), PatchConfig.baseline(), seed=7).run
+        serving = result.extra["serving"]
+        assert serving["ops_scheduled"] == 300
+        assert serving["ops_completed"] == 300
+        assert serving["latency_p50"] > 0
+        assert serving["latency_p50"] <= serving["latency_p99"] <= serving["latency_p999"]
+        assert serving["latency_p999"] <= serving["latency_max"]
+        assert serving["slo_cycles"] == SLO
+        assert serving["slo_violations"] >= 0
+        assert serving["slo_violation_rate"] is not None
+        assert serving["acked_writes"] > 0
+        hist = serving["histogram"]
+        assert hist["bounds"] == list(latency_bounds(SLO))
+        assert sum(hist["counts"]) == 300
+        # The whole extra must survive the canonical JSON round-trip.
+        json.loads(result.to_json())
+
+    def test_fast_path_bit_identical_to_reference(self):
+        fast = _workload().run(
+            machine_a(), PatchConfig.baseline(), seed=11, streams=True
+        ).run
+        reference = _workload().run(
+            machine_a(), PatchConfig.baseline(), seed=11, streams=False
+        ).run
+        assert fast.to_json() == reference.to_json()
+
+    def test_reference_env_var_matches_fast_path(self, monkeypatch):
+        fast = _workload().run(machine_a(), PatchConfig.baseline(), seed=13).run
+        monkeypatch.setenv("REPRO_SIM_REFERENCE", "1")
+        reference = _workload().run(machine_a(), PatchConfig.baseline(), seed=13).run
+        assert fast.to_json() == reference.to_json()
+
+    def test_fresh_instances_reproduce(self):
+        a = _workload().run(machine_a(), PatchConfig.baseline(), seed=5).run
+        b = _workload().run(machine_a(), PatchConfig.baseline(), seed=5).run
+        assert a.to_json() == b.to_json()
+        c = _workload().run(machine_a(), PatchConfig.baseline(), seed=6).run
+        assert a.to_json() != c.to_json()
+
+
+class TestWorkerCountIdentity:
+    def test_results_identical_at_any_worker_count(self):
+        grid = Grid(
+            factories=[_FACTORY],
+            machines=[machine_a()],
+            modes=(PrestoreMode.NONE, PrestoreMode.CLEAN),
+            seeds=[21],
+        )
+        serial = execute_cells(grid.cells(), workers=1)
+        pooled = execute_cells(grid.cells(), workers=2)
+        assert [o.result_json for o in serial] == [o.result_json for o in pooled]
+
+
+class TestFaultComposition:
+    def _crash_plan(self, workload):
+        horizon = workload.arrival.expected_horizon_cycles(workload.spec.operations)
+        return FaultPlan.crash_at_cycle(0.6 * horizon)
+
+    def test_crash_under_none_loses_acked_writes(self):
+        workload = _workload()
+        report = run_with_faults(
+            workload,
+            machine_a(),
+            self._crash_plan(workload),
+            patches=PatchConfig.baseline(),
+            seed=31,
+        )
+        assert report.crashed
+        serving = report.result.extra["serving"]
+        assert 0 < serving["ops_completed"] < 300
+        assert serving["acked_writes"] > 0
+        assert report.recovery is not None
+        assert report.recovery["lost_count"] > 0  # the unsafe-ack window
+
+    def test_crash_under_clean_loses_nothing(self):
+        from repro.experiments.common import endorsed_patches
+
+        workload = _workload()
+        report = run_with_faults(
+            workload,
+            machine_a(),
+            self._crash_plan(workload),
+            patches=endorsed_patches(workload, PrestoreMode.CLEAN),
+            seed=31,
+        )
+        assert report.crashed
+        assert report.result.extra["serving"]["acked_writes"] > 0
+        assert report.recovery is not None
+        assert report.recovery["ok"]
+        assert report.recovery["lost_count"] == 0
+
+
+class TestGridFaultPlanAxis:
+    def test_axis_expands_row_major_with_seeds_fastest(self):
+        plan = FaultPlan.crash_at_cycle(1000.0)
+        grid = Grid(
+            factories=[_FACTORY],
+            machines=[machine_a()],
+            modes=(PrestoreMode.NONE,),
+            fault_plans=[None, plan],
+            seeds=[1, 2],
+        )
+        cells = grid.cells()
+        assert len(grid) == len(cells) == 4
+        assert [(c.fault_plan, c.seed) for c in cells] == [
+            (None, 1), (None, 2), (plan, 1), (plan, 2),
+        ]
+
+    def test_default_axis_is_plain_runs(self):
+        grid = Grid(factories=[_FACTORY], machines=[machine_a()])
+        assert all(cell.fault_plan is None for cell in grid.cells())
+
+
+class TestMonitorServingFold:
+    @staticmethod
+    def _result(slo=SLO, ops=10, violations=2, mean=100.0):
+        bounds = list(latency_bounds(slo))
+        counts = [0] * (len(bounds) + 1)
+        counts[0] = ops
+        return SimpleNamespace(
+            extra={
+                "serving": {
+                    "ops_completed": ops,
+                    "slo_violations": violations,
+                    "latency_mean": mean,
+                    "histogram": {"bounds": bounds, "counts": counts},
+                }
+            }
+        )
+
+    def test_fold_accumulates_counters_and_histogram(self):
+        monitor = SweepMonitor()
+        monitor._fold_serving(self._result(ops=10, violations=2))
+        monitor._fold_serving(self._result(ops=5, violations=1))
+        assert monitor.serving_ops == 15
+        assert monitor.serving_violations == 3
+        hist = monitor.registry.get("serving.latency_cycles")
+        assert hist.count == 15
+        assert hist.total == pytest.approx(1500.0)
+        assert "serving" in monitor.render_dashboard()
+
+    def test_fold_refuses_mismatched_bounds(self):
+        monitor = SweepMonitor()
+        monitor._fold_serving(self._result(slo=SLO, ops=10))
+        monitor._fold_serving(self._result(slo=2 * SLO, ops=4))
+        # Counters still aggregate; the histogram keeps its first bounds.
+        assert monitor.serving_ops == 14
+        assert monitor.registry.get("serving.latency_cycles").count == 10
+
+    def test_fold_ignores_results_without_serving(self):
+        monitor = SweepMonitor()
+        monitor._fold_serving(SimpleNamespace(extra={}))
+        assert monitor.serving_ops == 0
+        assert monitor.registry.get("serving.latency_cycles") is None
+
+    def test_live_sweep_folds_cached_and_fresh(self, tmp_path):
+        grid = Grid(
+            factories=[_FACTORY],
+            machines=[machine_a()],
+            modes=(PrestoreMode.NONE,),
+            seeds=[41],
+        )
+        fresh = SweepMonitor()
+        execute_cells(grid.cells(), events=fresh, cache=str(tmp_path))
+        assert fresh.serving_ops == 300
+        warm = SweepMonitor()
+        outcomes = execute_cells(grid.cells(), events=warm, cache=str(tmp_path))
+        assert [o.status for o in outcomes] == ["cached"]
+        assert warm.serving_ops == 300  # cache hits fold too

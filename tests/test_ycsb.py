@@ -75,6 +75,74 @@ class TestYCSBSpec:
         assert reads, "mix D must read"
         assert all(k >= 0 for k in reads)
 
+    @pytest.mark.parametrize("clients", [2, 4])
+    def test_mix_d_strided_reads_hit_own_inserts_or_preload(self, clients):
+        # Regression: the old generator computed the read-latest window in
+        # raw key-id units (next_insert_key - 1 - back), so with
+        # insert_stride > 1 it read ids inside another client's stride —
+        # keys this client never inserted and nobody preloaded.
+        spec = YCSBSpec(mix="D", num_keys=100, operations=3000, latest_window=16)
+        for client in range(clients):
+            inserted = set()
+            stream = spec.operation_stream(
+                random.Random(31 + client),
+                insert_start=spec.num_keys + client,
+                insert_stride=clients,
+            )
+            for op, key in stream:
+                if op == OP_INSERT:
+                    inserted.add(key)
+                elif op == OP_READ and key >= spec.num_keys:
+                    assert key in inserted, (
+                        f"client {client}/{clients} read un-inserted key {key}"
+                    )
+
+    def test_mix_d_read_latest_window_tracks_insert_steps(self):
+        # Reads above the preload must land within latest_window insert
+        # *steps* of this client's most recent insert.
+        spec = YCSBSpec(mix="D", num_keys=50, operations=3000, latest_window=8)
+        stride, start = 4, 51
+        order = {}
+        stream = spec.operation_stream(random.Random(5), insert_start=start, insert_stride=stride)
+        for op, key in stream:
+            if op == OP_INSERT:
+                order[key] = len(order)
+            elif op == OP_READ and key >= spec.num_keys:
+                age = len(order) - 1 - order[key]
+                assert 0 <= age <= spec.latest_window
+
+
+class TestZetaIncremental:
+    def test_zeta_matches_direct_sum(self):
+        theta = 0.77
+        for n in (1, 2, 5, 4095, 4096, 4097, 10_000):
+            direct = sum(1.0 / (i ** theta) for i in range(1, n + 1))
+            assert ZipfianGenerator._zeta(n, theta) == direct
+
+    def test_zeta_path_independent(self):
+        # The float value for a given (n, theta) must not depend on which
+        # other n values were requested first (workers see different cell
+        # orders; zipfian draws must stay bit-identical everywhere).
+        theta = 0.83
+        probe = 9_001
+        fresh = sum(1.0 / (i ** theta) for i in range(1, probe + 1))
+        ZipfianGenerator._zeta(123, theta)
+        ZipfianGenerator._zeta(20_000, theta)
+        assert ZipfianGenerator._zeta(probe, theta) == fresh
+
+    def test_zeta_extends_incrementally(self):
+        # A big-n construction must not redo the full harmonic sum when a
+        # nearby prefix is already cached: the second call may only pay
+        # the tail past the last checkpoint block.
+        theta = 0.91
+        ZipfianGenerator(60_000, theta=theta, rng=random.Random(0))
+        before = dict(ZipfianGenerator._zeta_cache)
+        blocks_before = len(ZipfianGenerator._zeta_blocks[theta])
+        ZipfianGenerator(59_999, theta=theta, rng=random.Random(0))
+        assert len(ZipfianGenerator._zeta_blocks[theta]) == blocks_before
+        assert (59_999, theta) in ZipfianGenerator._zeta_cache
+        assert before.keys() <= ZipfianGenerator._zeta_cache.keys()
+
     def test_c_is_read_only(self):
         spec = YCSBSpec(mix="C", num_keys=100, operations=500)
         assert all(op == OP_READ for op, _ in spec.operation_stream(random.Random(1)))
